@@ -1,0 +1,83 @@
+// Command modelinfo inspects a persisted prediction model: node and
+// leaf counts, depth histogram, memory estimate, and the hottest
+// branches. Models are written with the Encode methods of the pb, ppm,
+// and lrs model types (see cmd/prefetchsim and the library API).
+//
+// Usage:
+//
+//	modelinfo -type pb|ppm|lrs model.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pbppm/internal/core"
+	"pbppm/internal/lrs"
+	"pbppm/internal/markov"
+	"pbppm/internal/popularity"
+	"pbppm/internal/ppm"
+)
+
+func main() {
+	modelType := flag.String("type", "pb", "model type: pb, ppm, or lrs")
+	top := flag.Int("top", 10, "hot branches to list")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: modelinfo -type pb|ppm|lrs model.bin")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modelinfo: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	var tree *markov.Tree
+	var extra string
+	switch *modelType {
+	case "pb":
+		// Grades are not persisted with the model; an empty ranking is
+		// enough for inspection (grades only matter for training).
+		m, err := core.DecodeModel(f, popularity.NewRanking())
+		if err != nil {
+			fatal(err)
+		}
+		tree = m.Tree()
+		extra = fmt.Sprintf("duplicated links: %d\n", m.LinkCount())
+	case "ppm":
+		m, err := ppm.DecodeModel(f)
+		if err != nil {
+			fatal(err)
+		}
+		tree = m.Tree()
+		extra = fmt.Sprintf("model: %s\n", m.Name())
+	case "lrs":
+		m, err := lrs.DecodeModel(f)
+		if err != nil {
+			fatal(err)
+		}
+		tree = m.Tree()
+		extra = fmt.Sprintf("repeating patterns: %d\n", len(m.Patterns()))
+	default:
+		fmt.Fprintf(os.Stderr, "modelinfo: unknown type %q\n", *modelType)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%s (%s)\n", flag.Arg(0), *modelType)
+	fmt.Print(tree.Stats())
+	fmt.Print(extra)
+	if *top > 0 {
+		fmt.Println("hot branches:")
+		for _, b := range tree.TopBranches(*top) {
+			fmt.Printf("  %-40s %.3f\n", b.URL, b.Probability)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "modelinfo: %v\n", err)
+	os.Exit(1)
+}

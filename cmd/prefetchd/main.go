@@ -1,0 +1,159 @@
+// Command prefetchd runs a live HTTP prefetching server over a
+// synthetic site: it pre-trains a popularity-based PPM model from a
+// generated history, serves documents with X-Prefetch hints, keeps
+// learning from live traffic, and periodically rebuilds the model from
+// a sliding session window.
+//
+// Usage:
+//
+//	prefetchd [-addr :8080] [-profile nasa|ucbcs] [-rebuild 10m]
+//
+// Try it:
+//
+//	curl -i -H 'X-Client-ID: me' http://localhost:8080/d0/page0000.html
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"pbppm/internal/core"
+	"pbppm/internal/maintain"
+	"pbppm/internal/markov"
+	"pbppm/internal/popularity"
+	"pbppm/internal/server"
+	"pbppm/internal/session"
+	"pbppm/internal/tracegen"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		profileName = flag.String("profile", "nasa", "site profile: nasa or ucbcs")
+		rebuild     = flag.Duration("rebuild", 10*time.Minute, "model rebuild interval")
+	)
+	flag.Parse()
+
+	var p tracegen.Profile
+	switch *profileName {
+	case "nasa":
+		p = tracegen.NASA()
+	case "ucbcs":
+		p = tracegen.UCBCS()
+	default:
+		fmt.Fprintf(os.Stderr, "prefetchd: unknown profile %q\n", *profileName)
+		os.Exit(2)
+	}
+
+	site, err := tracegen.BuildSite(p)
+	if err != nil {
+		log.Fatalf("prefetchd: %v", err)
+	}
+	store := storeFromSite(site)
+
+	// Warm-start: train on a generated history of the same site.
+	warm := p
+	warm.Days = 3
+	tr, err := tracegen.GenerateOn(site, warm)
+	if err != nil {
+		log.Fatalf("prefetchd: %v", err)
+	}
+	sessions := session.Sessionize(tr, session.Config{})
+
+	factory := func(rank *popularity.Ranking) markov.Predictor {
+		return core.New(rank, core.Config{RelProbCutoff: 0.01, DropSingletons: true})
+	}
+	maint, err := maintain.New(maintain.Config{Factory: factory})
+	if err != nil {
+		log.Fatalf("prefetchd: %v", err)
+	}
+	// The warm history carries the generator's synthetic timestamps;
+	// shift each session to end "now" minus its age within the history
+	// so the sliding window keeps all of it.
+	shift := time.Since(tr.Epoch.Add(time.Duration(warm.Days) * 24 * time.Hour))
+	for _, s := range sessions {
+		shifted := s
+		shifted.Views = make([]session.PageView, len(s.Views))
+		for i, v := range s.Views {
+			v.Time = v.Time.Add(shift)
+			shifted.Views[i] = v
+		}
+		maint.Observe(shifted)
+	}
+	model := maint.Rebuild(time.Now())
+	log.Printf("prefetchd: warm model trained on %d sessions: %d nodes",
+		len(sessions), model.NodeCount())
+
+	srv := server.New(store, server.Config{
+		Predictor: model,
+		// Completed live sessions flow into the maintenance window so
+		// rebuilds track real traffic.
+		OnSessionEnd: func(client string, urls []string, last time.Time) {
+			s := session.Session{Client: client}
+			for i, u := range urls {
+				s.Views = append(s.Views, session.PageView{
+					URL:  u,
+					Time: last.Add(time.Duration(i-len(urls)) * time.Minute),
+				})
+			}
+			maint.Observe(s)
+		},
+	})
+	stop := make(chan struct{})
+	defer close(stop)
+	go maint.Run(*rebuild, stop)
+	go func() {
+		// Propagate rebuilt models into the server and trim stale
+		// client contexts.
+		ticker := time.NewTicker(*rebuild)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				if m := maint.Predictor(); m != nil {
+					srv.SetPredictor(m)
+				}
+				srv.ExpireSessions()
+			}
+		}
+	}()
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv)
+	mux.HandleFunc("/debug/stats", func(w http.ResponseWriter, r *http.Request) {
+		st := srv.Stats()
+		fmt.Fprintf(w, "demand %d\nprefetch %d\nnot-found %d\nhints %d\nsessions %d\nrebuilds %d\n",
+			st.DemandRequests, st.PrefetchRequests, st.NotFound,
+			st.HintsIssued, st.SessionsStarted, maint.Rebuilds())
+	})
+
+	log.Printf("prefetchd: serving %d pages on %s (profile %s, rebuild every %v)",
+		len(site.Pages), *addr, p.Name, *rebuild)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// storeFromSite materializes synthetic bodies for every page and image.
+func storeFromSite(site *tracegen.Site) server.MapStore {
+	store := server.MapStore{}
+	for _, pg := range site.Pages {
+		store[pg.URL] = server.Document{
+			URL:         pg.URL,
+			Body:        make([]byte, pg.Size),
+			ContentType: "text/html; charset=utf-8",
+		}
+		for _, img := range pg.Images {
+			store[img.URL] = server.Document{
+				URL:         img.URL,
+				Body:        make([]byte, img.Size),
+				ContentType: "image/gif",
+			}
+		}
+	}
+	return store
+}

@@ -1,0 +1,194 @@
+// Command prefetchsim runs one trace-driven prefetching simulation: it
+// trains a prediction model on the first k days of a trace and replays
+// the following day against it, reporting the paper's §2.3 metrics.
+//
+// Usage:
+//
+//	prefetchsim [-trace file | -profile nasa|ucbcs] [-model pb|ppm|3ppm|lrs|none]
+//	            [-train-days N] [-threshold P] [-max-prefetch BYTES] [-proxy]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pbppm/internal/core"
+	"pbppm/internal/experiments"
+	"pbppm/internal/lrs"
+	"pbppm/internal/markov"
+	"pbppm/internal/metrics"
+	"pbppm/internal/ppm"
+	"pbppm/internal/sim"
+	"pbppm/internal/topn"
+	"pbppm/internal/trace"
+)
+
+func main() {
+	var (
+		traceFile   = flag.String("trace", "", "Common Log Format trace file (overrides -profile)")
+		profileName = flag.String("profile", "nasa", "synthetic workload: nasa or ucbcs")
+		modelName   = flag.String("model", "pb", "prediction model: pb, ppm, 3ppm, blend, lrs, topn, or none")
+		trainDays   = flag.Int("train-days", 0, "training window in days (0 = all but the last day)")
+		threshold   = flag.Float64("threshold", 0, "prediction probability threshold (0 = paper's 0.25)")
+		maxPrefetch = flag.Int64("max-prefetch", 0, "prefetch size cap in bytes (0 = paper default per model)")
+		useProxy    = flag.Bool("proxy", false, "interpose a shared 16 GB proxy cache")
+		saveModel   = flag.String("save-model", "", "write the trained model to this file (inspect with modelinfo)")
+	)
+	flag.Parse()
+
+	w, err := loadWorkload(*traceFile, *profileName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prefetchsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	k := *trainDays
+	if k == 0 {
+		k = w.Days() - 1
+	}
+	if k < 1 || k >= w.Days() {
+		fmt.Fprintf(os.Stderr, "prefetchsim: train-days %d out of range for a %d-day trace\n", k, w.Days())
+		os.Exit(2)
+	}
+	train := w.DaySessions(0, k)
+	test := w.DaySessions(k, k+1)
+	rank := experiments.Ranking(train)
+
+	var pred markov.Predictor
+	maxBytes := *maxPrefetch
+	switch *modelName {
+	case "pb":
+		pred = core.New(rank, core.Config{
+			Threshold:      *threshold,
+			RelProbCutoff:  0.01,
+			DropSingletons: w.DropSingletons,
+		})
+		if maxBytes == 0 {
+			maxBytes = sim.PBMaxPrefetchBytes
+		}
+	case "ppm":
+		pred = ppm.New(ppm.Config{Threshold: *threshold})
+	case "3ppm":
+		pred = ppm.New(ppm.Config{Height: 3, Threshold: *threshold})
+	case "blend":
+		pred = ppm.New(ppm.Config{Threshold: *threshold, BlendOrders: true})
+	case "lrs":
+		pred = lrs.New(lrs.Config{Threshold: *threshold})
+	case "topn":
+		pred = topn.New(topn.Config{})
+	case "none":
+		pred = nil
+	default:
+		fmt.Fprintf(os.Stderr, "prefetchsim: unknown model %q\n", *modelName)
+		os.Exit(2)
+	}
+	if maxBytes == 0 {
+		maxBytes = sim.DefaultMaxPrefetchBytes
+	}
+
+	start := time.Now()
+	nodes := 0
+	if pred != nil {
+		nodes = sim.Train(pred, train)
+	}
+	trainTime := time.Since(start)
+
+	if *saveModel != "" && pred != nil {
+		if err := persistModel(*saveModel, pred); err != nil {
+			fmt.Fprintf(os.Stderr, "prefetchsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "prefetchsim: model written to %s\n", *saveModel)
+	}
+
+	opt := sim.Options{
+		Predictor:        pred,
+		MaxPrefetchBytes: maxBytes,
+		Path:             w.Path,
+		Grades:           rank,
+		Sizes:            w.Sizes,
+		UseProxy:         *useProxy,
+	}
+	start = time.Now()
+	res := sim.Run(test, opt)
+	simTime := time.Since(start)
+
+	baseOpt := opt
+	baseOpt.Predictor = nil
+	base := sim.Run(test, baseOpt)
+
+	fmt.Printf("workload %s: %d train sessions (%d days), %d test sessions (day %d)\n",
+		w.Name, len(train), k, len(test), k)
+	tb := &metrics.Table{Headers: []string{"metric", "value"}}
+	tb.AddRow("model", res.Model)
+	tb.AddRow("nodes", fmt.Sprint(nodes))
+	tb.AddRow("requests", fmt.Sprint(res.Requests))
+	tb.AddRow("hit ratio", metrics.Pct(res.HitRatio()))
+	tb.AddRow("  cache hits", fmt.Sprint(res.CacheHits))
+	tb.AddRow("  prefetch hits", fmt.Sprint(res.PrefetchHits))
+	if *useProxy {
+		tb.AddRow("  browser hits", fmt.Sprint(res.BrowserHits))
+		tb.AddRow("  proxy cache hits", fmt.Sprint(res.ProxyCacheHits))
+		tb.AddRow("  proxy prefetch hits", fmt.Sprint(res.ProxyPrefetchHits))
+	}
+	tb.AddRow("baseline hit ratio", metrics.Pct(base.HitRatio()))
+	tb.AddRow("latency reduction", metrics.Pct(res.LatencyReductionVs(base)))
+	tb.AddRow("traffic increase", metrics.Pct(res.TrafficIncrease()))
+	tb.AddRow("prefetched docs", fmt.Sprint(res.PrefetchedDocs))
+	tb.AddRow("prefetch precision", metrics.Pct(res.PrefetchPrecision()))
+	tb.AddRow("popular share of prefetch hits", metrics.Pct(res.PopularShareOfPrefetchHits()))
+	tb.AddRow("path utilization", metrics.Pct(res.Utilization))
+	tb.AddRow("latency p50/p95",
+		fmt.Sprintf("%v / %v", res.Latencies.Percentile(50), res.Latencies.Percentile(95)))
+	tb.AddRow("train time", trainTime.Round(time.Millisecond).String())
+	tb.AddRow("replay time", simTime.Round(time.Millisecond).String())
+	fmt.Print(tb.String())
+}
+
+// persistModel writes the trained model for later inspection.
+func persistModel(path string, pred markov.Predictor) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch m := pred.(type) {
+	case *core.Model:
+		return m.Encode(f)
+	case *ppm.Model:
+		return m.Encode(f)
+	case *lrs.Model:
+		return m.Encode(f)
+	default:
+		return fmt.Errorf("model %s does not support persistence", pred.Name())
+	}
+}
+
+// loadWorkload reads a CLF file or generates the named profile.
+func loadWorkload(file, profileName string) (*experiments.Workload, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		tr, skipped, err := trace.ReadCLF(f)
+		if err != nil {
+			return nil, err
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "prefetchsim: skipped %d unparseable lines\n", skipped)
+		}
+		return experiments.NewWorkload(file, tr)
+	}
+	switch profileName {
+	case "nasa":
+		return experiments.NASAWorkload()
+	case "ucbcs":
+		return experiments.UCBWorkload()
+	default:
+		return nil, fmt.Errorf("unknown profile %q (want nasa or ucbcs)", profileName)
+	}
+}

@@ -1,0 +1,100 @@
+// Command replay drives a live prefetching server (see cmd/prefetchd)
+// with the sessions of an access log, one cooperating prefetching
+// client per trace client, and reports the client-side hit ratios.
+// Together with prefetchd it demonstrates the full system outside any
+// simulator: generate a trace, start the server, replay the trace.
+//
+//	go run ./cmd/prefetchd -addr :8080 &
+//	go run ./cmd/tracegen -profile nasa -days 1 -o day.log
+//	go run ./cmd/replay -server http://localhost:8080 day.log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"pbppm/internal/server"
+	"pbppm/internal/session"
+	"pbppm/internal/trace"
+)
+
+func main() {
+	var (
+		serverURL = flag.String("server", "http://127.0.0.1:8080", "prefetching server base URL")
+		maxReqs   = flag.Int("max-requests", 0, "stop after this many requests (0 = whole trace)")
+		noWait    = flag.Bool("no-wait", false, "do not wait for background prefetches between clicks")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: replay [-server URL] trace.log")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "replay: %v\n", err)
+		os.Exit(1)
+	}
+	tr, skipped, err := trace.ReadCLF(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "replay: %v\n", err)
+		os.Exit(1)
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "replay: skipped %d unparseable lines\n", skipped)
+	}
+
+	sessions := session.Sessionize(tr, session.Config{})
+	sort.SliceStable(sessions, func(i, j int) bool {
+		return sessions[i].Start().Before(sessions[j].Start())
+	})
+
+	clients := map[string]*server.Client{}
+	var requests, hits, prefetchHits, errors int
+	for _, s := range sessions {
+		cl := clients[s.Client]
+		if cl == nil {
+			cl, err = server.NewClient(server.ClientConfig{ID: s.Client, BaseURL: *serverURL})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "replay: %v\n", err)
+				os.Exit(1)
+			}
+			clients[s.Client] = cl
+		}
+		for _, v := range s.Views {
+			if *maxReqs > 0 && requests >= *maxReqs {
+				report(requests, hits, prefetchHits, errors, len(clients))
+				return
+			}
+			src, err := cl.Get(v.URL)
+			requests++
+			switch {
+			case err != nil:
+				errors++
+			case src == "cache":
+				hits++
+			case src == "prefetch":
+				hits++
+				prefetchHits++
+			}
+			if !*noWait {
+				cl.Wait()
+			}
+		}
+	}
+	for _, cl := range clients {
+		cl.Wait()
+	}
+	report(requests, hits, prefetchHits, errors, len(clients))
+}
+
+func report(requests, hits, prefetchHits, errors, clients int) {
+	fmt.Printf("replayed %d requests from %d clients\n", requests, clients)
+	if requests == 0 {
+		return
+	}
+	fmt.Printf("hit ratio %.1f%% (%d hits, of which %d prefetch hits), %d errors\n",
+		100*float64(hits)/float64(requests), hits, prefetchHits, errors)
+}

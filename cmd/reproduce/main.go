@@ -1,0 +1,192 @@
+// Command reproduce regenerates the tables and figures of the paper's
+// evaluation on the synthetic NASA-like and UCB-CS-like workloads and
+// prints them as text tables (the data behind EXPERIMENTS.md).
+//
+// Usage:
+//
+//	reproduce [-exp all|fig2|fig3|table|fig4|fig5|baselines|maintenance|ablations]
+//	          [-workload both|nasa|ucbcs] [-scale full|small] [-csv dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"pbppm/internal/experiments"
+	"pbppm/internal/tracegen"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: all, fig2, fig3, table, fig4, fig5, baselines, maintenance, ablations")
+		workload = flag.String("workload", "both", "workload: both, nasa, ucbcs")
+		scale    = flag.String("scale", "full", "full = paper scale, small = quick check")
+		csvDir   = flag.String("csv", "", "also write each artifact as CSV into this directory")
+	)
+	flag.Parse()
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	var loads []*experiments.Workload
+	for _, name := range []string{"nasa", "ucbcs"} {
+		if *workload != "both" && *workload != name {
+			continue
+		}
+		start := time.Now()
+		w, err := buildWorkload(name, *scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "reproduce: prepared %s workload: %d records, %d sessions, %d days (%.1fs)\n",
+			name, len(w.Trace.Records), len(w.Sessions), w.Days(),
+			time.Since(start).Seconds())
+		loads = append(loads, w)
+	}
+	if len(loads) == 0 {
+		fmt.Fprintf(os.Stderr, "reproduce: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	for _, w := range loads {
+		if err := run(w, *exp, *csvDir); err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %s: %v\n", w.Name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func buildWorkload(name, scale string) (*experiments.Workload, error) {
+	var p tracegen.Profile
+	switch name {
+	case "nasa":
+		p = tracegen.NASA()
+	case "ucbcs":
+		p = tracegen.UCBCS()
+	}
+	if scale == "small" {
+		p.Days = 4
+		p.SessionsPerDay /= 2
+		p.Pages /= 2
+		p.Browsers /= 2
+		p.CrawlerPagesPerDay = 150
+	}
+	return experiments.FromProfile(p)
+}
+
+func run(w *experiments.Workload, exp, csvDir string) error {
+	cfg := experiments.SweepConfig{}
+	all := exp == "all"
+
+	emit := func(name string, artifact interface {
+		fmt.Stringer
+		experiments.CSVWriter
+	}) error {
+		fmt.Println(artifact)
+		if csvDir == "" {
+			return nil
+		}
+		f, err := os.Create(filepath.Join(csvDir, fmt.Sprintf("%s-%s.csv", w.Name, name)))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return artifact.WriteCSV(f)
+	}
+
+	if all || exp == "fig2" {
+		f, err := experiments.RunFigure2(w, cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("fig2", f); err != nil {
+			return err
+		}
+	}
+	if all || exp == "fig3" {
+		f, err := experiments.RunFigure3(w, cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("fig3", f); err != nil {
+			return err
+		}
+	}
+	if all || exp == "table" {
+		t, err := experiments.RunSpaceTable(w, cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("table", t); err != nil {
+			return err
+		}
+	}
+	if all || exp == "fig4" {
+		f, err := experiments.RunFigure4(w, cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("fig4", f); err != nil {
+			return err
+		}
+	}
+	if all || exp == "fig5" {
+		f, err := experiments.RunFigure5(w, experiments.Figure5Config{})
+		if err != nil {
+			return err
+		}
+		if err := emit("fig5", f); err != nil {
+			return err
+		}
+	}
+	if all || exp == "baselines" {
+		bl, err := experiments.RunBaselines(w)
+		if err != nil {
+			return err
+		}
+		if err := emit("baselines", bl); err != nil {
+			return err
+		}
+	}
+	if all || exp == "maintenance" {
+		m, err := experiments.RunMaintenance(w)
+		if err != nil {
+			return err
+		}
+		if err := emit("maintenance", m); err != nil {
+			return err
+		}
+	}
+	if all || exp == "ablations" {
+		for _, runAbl := range []func(*experiments.Workload) (*experiments.Ablation, error){
+			experiments.RunAblationThresholds,
+			experiments.RunAblationSpaceOpt,
+			experiments.RunAblationHeights,
+			experiments.RunAblationLinks,
+			experiments.RunAblationCachePolicy,
+			experiments.RunAblationBlending,
+			experiments.RunAblationOnlineTraining,
+		} {
+			a, err := runAbl(w)
+			if err != nil {
+				return err
+			}
+			if err := emit("ablation-"+a.Name, a); err != nil {
+				return err
+			}
+		}
+	}
+	switch exp {
+	case "all", "fig2", "fig3", "table", "fig4", "fig5", "baselines", "maintenance", "ablations":
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}

@@ -1,0 +1,101 @@
+// Command traceinfo summarizes a Web access log: volume, clients,
+// sessions, popularity structure, the paper's three surfing
+// regularities, the grade-transition matrix, and a Zipf fit of the URL
+// popularity distribution. It reads Common Log Format from a file or
+// stdin.
+//
+// Usage:
+//
+//	traceinfo [trace.log]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pbppm/internal/analysis"
+	"pbppm/internal/metrics"
+	"pbppm/internal/popularity"
+	"pbppm/internal/session"
+	"pbppm/internal/trace"
+)
+
+func main() {
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	name := "stdin"
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "traceinfo: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+		name = flag.Arg(0)
+	}
+
+	tr, skipped, err := trace.ReadCLF(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "traceinfo: %v\n", err)
+		os.Exit(1)
+	}
+	if len(tr.Records) == 0 {
+		fmt.Fprintf(os.Stderr, "traceinfo: %s holds no parseable records\n", name)
+		os.Exit(1)
+	}
+
+	sessions := session.Sessionize(tr, session.Config{})
+	lengths := analysis.MeasureLengths(sessions)
+	rep, rank := analysis.MeasureRegularities(sessions)
+	classes := session.ClassifyClients(tr, 0)
+	proxies := 0
+	for _, c := range classes {
+		if c == session.Proxy {
+			proxies++
+		}
+	}
+	hist := rank.GradeHistogram()
+
+	fmt.Printf("trace %s\n", name)
+	tb := &metrics.Table{Headers: []string{"property", "value"}}
+	tb.AddRow("records", fmt.Sprint(len(tr.Records)))
+	tb.AddRow("skipped lines", fmt.Sprint(skipped))
+	tb.AddRow("days", fmt.Sprint(tr.Days()))
+	tb.AddRow("clients", fmt.Sprint(len(classes)))
+	tb.AddRow("proxy-class clients", fmt.Sprint(proxies))
+	tb.AddRow("distinct page URLs", fmt.Sprint(rank.Len()))
+	tb.AddRow("sessions", fmt.Sprint(rep.Sessions))
+	tb.AddRow("mean session length", fmt.Sprintf("%.2f", lengths.Mean))
+	tb.AddRow("median / p95 / max length",
+		fmt.Sprintf("%d / %d / %d", lengths.Median, lengths.P95, lengths.Max))
+	tb.AddRow("sessions <= 9 clicks", metrics.Pct(lengths.AtMostNine))
+	for g := popularity.MaxGrade; g >= 0; g-- {
+		tb.AddRow(fmt.Sprintf("grade-%d URLs", g), fmt.Sprint(hist[g]))
+	}
+	if alpha, r2, err := analysis.ZipfFit(rank); err == nil {
+		tb.AddRow("Zipf alpha (fit R²)", fmt.Sprintf("%.2f (%.2f)", alpha, r2))
+	}
+	fmt.Print(tb.String())
+
+	fmt.Println("\nsurfing regularities (paper §1)")
+	fmt.Print(rep)
+	if rep.Holds() {
+		fmt.Println("=> all three regularities hold")
+	} else {
+		fmt.Println("=> the regularities do NOT all hold (UCB-CS-style irregular trace?)")
+	}
+
+	fmt.Println("\ngrade transition matrix (rows: from-grade, cols: to-grade)")
+	m := analysis.TransitionMatrix(sessions, rank)
+	mt := &metrics.Table{Headers: []string{"from\\to", "g0", "g1", "g2", "g3"}}
+	for a := popularity.MaxGrade; a >= 0; a-- {
+		mt.AddRow(fmt.Sprintf("g%d", a),
+			fmt.Sprint(m[a][0]), fmt.Sprint(m[a][1]),
+			fmt.Sprint(m[a][2]), fmt.Sprint(m[a][3]))
+	}
+	fmt.Print(mt.String())
+}

@@ -1,0 +1,116 @@
+package pbppm_test
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pbppm"
+)
+
+// The paper's Figure 1: build the popularity-based tree from the
+// access sequence A B C A' B' C' and predict from the root A.
+func ExampleNewPopularityPPM() {
+	grades := pbppm.FixedGrades{
+		"A": 3, "A'": 3, "B": 2, "B'": 2, "C": 1, "C'": 1,
+	}
+	model := pbppm.NewPopularityPPM(grades, pbppm.PopularityPPMConfig{
+		Heights: [4]int{1, 2, 3, 4}, // the example's maximum height 4
+	})
+	model.TrainSequence([]string{"A", "B", "C", "A'", "B'", "C'"})
+
+	fmt.Println("nodes:", model.NodeCount(), "links:", model.LinkCount())
+	for _, p := range model.Predict([]string{"A"}) {
+		fmt.Printf("predict %s (P=%.2f)\n", p.URL, p.Probability)
+	}
+	// Output:
+	// nodes: 8 links: 1
+	// predict A' (P=1.00)
+	// predict B (P=1.00)
+}
+
+// Relative popularity and the paper's log10 grade scale.
+func ExampleNewRanking() {
+	rank := pbppm.NewRanking()
+	rank.Observe("/home", 1000)
+	rank.Observe("/section", 90)
+	rank.Observe("/page", 7)
+	rank.Observe("/attic", 1)
+
+	for _, url := range rank.Top(4) {
+		fmt.Printf("%-9s RP=%.3f grade %d\n", url, rank.Relative(url), rank.GradeOf(url))
+	}
+	// Output:
+	// /home     RP=1.000 grade 3
+	// /section  RP=0.090 grade 2
+	// /page     RP=0.007 grade 1
+	// /attic    RP=0.001 grade 1
+}
+
+// Sessionizing a raw access log: the 30-minute idle rule and the
+// 10-second embedded-image fold.
+func ExampleSessionize() {
+	epoch := time.Date(1995, 7, 1, 0, 0, 0, 0, time.UTC)
+	rec := func(sec int, url string) pbppm.Record {
+		return pbppm.Record{
+			Client: "client1", Time: epoch.Add(time.Duration(sec) * time.Second),
+			Method: "GET", URL: url, Status: 200, Bytes: 1000,
+		}
+	}
+	tr := &pbppm.Trace{Epoch: epoch, Records: []pbppm.Record{
+		rec(0, "/index.html"),
+		rec(3, "/logo.gif"), // embedded: within 10 s of the page
+		rec(40, "/news.html"),
+		rec(4000, "/late.html"), // > 30 min idle: a new session
+	}}
+
+	for i, s := range pbppm.Sessionize(tr, pbppm.SessionConfig{}) {
+		fmt.Printf("session %d: %s", i+1, strings.Join(s.URLs(), " -> "))
+		fmt.Printf(" (%d embedded)\n", len(s.Views[0].Embedded))
+	}
+	// Output:
+	// session 1: /index.html -> /news.html (1 embedded)
+	// session 2: /late.html (0 embedded)
+}
+
+// Fitting the paper's latency model from measured samples.
+func ExampleFitLatency() {
+	truth := pbppm.LatencyModel{
+		Connect:      200 * time.Millisecond,
+		TransferRate: 10 * time.Microsecond, // per byte
+	}
+	var samples []pbppm.LatencySample
+	for _, size := range []int64{1000, 5000, 20000, 60000} {
+		samples = append(samples, pbppm.LatencySample{Size: size, Latency: truth.Estimate(size)})
+	}
+	m, err := pbppm.FitLatency(samples)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("connect ~%v, 10KB fetch ~%v\n",
+		m.Connect.Round(time.Millisecond), m.Estimate(10_000).Round(time.Millisecond))
+	// Output:
+	// connect ~200ms, 10KB fetch ~300ms
+}
+
+// The three models behind one interface.
+func ExamplePredictor() {
+	grades := pbppm.FixedGrades{"/a": 3}
+	models := []pbppm.Predictor{
+		pbppm.NewStandardPPM(pbppm.PPMConfig{Height: 3}),
+		pbppm.NewLRS(pbppm.LRSConfig{}),
+		pbppm.NewPopularityPPM(grades, pbppm.PopularityPPMConfig{}),
+	}
+	for _, m := range models {
+		for i := 0; i < 2; i++ {
+			m.TrainSequence([]string{"/a", "/b"})
+		}
+		p := m.Predict([]string{"/a"})
+		fmt.Printf("%s: %s (%d nodes)\n", m.Name(), p[0].URL, m.NodeCount())
+	}
+	// Output:
+	// 3-PPM: /b (3 nodes)
+	// LRS-PPM: /b (3 nodes)
+	// PB-PPM: /b (2 nodes)
+}

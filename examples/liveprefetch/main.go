@@ -1,0 +1,71 @@
+// Liveprefetch spins up the real HTTP prefetching server in-process,
+// points a cooperating prefetching client at it, and walks a popular
+// surfing path: the second click is served from the browser cache
+// because the server hinted it and the client prefetched it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"pbppm"
+)
+
+func main() {
+	// Content: a tiny site with a learnable path.
+	store := pbppm.MapStore{}
+	for url, size := range map[string]int{
+		"/home": 4096, "/news": 3072, "/news/today": 2048, "/sports": 3584,
+	} {
+		store[url] = pbppm.Document{URL: url, Body: make([]byte, size)}
+	}
+
+	// Train PB-PPM on historical sessions.
+	rank := pbppm.NewRanking()
+	history := [][]string{
+		{"/home", "/news", "/news/today"},
+		{"/home", "/news", "/news/today"},
+		{"/home", "/sports"},
+		{"/home", "/news"},
+	}
+	for _, s := range history {
+		for _, u := range s {
+			rank.Observe(u, 1)
+		}
+	}
+	model := pbppm.NewPopularityPPM(rank, pbppm.PopularityPPMConfig{})
+	for _, s := range history {
+		model.TrainSequence(s)
+	}
+
+	// The deployable server, with hints, behind a test listener.
+	srv := pbppm.NewHTTPServer(store, pbppm.HTTPServerConfig{Predictor: model})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	fmt.Printf("server listening at %s\n\n", ts.URL)
+
+	client, err := pbppm.NewHTTPClient(pbppm.HTTPClientConfig{
+		ID:      "demo-browser",
+		BaseURL: ts.URL,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, url := range []string{"/home", "/news", "/news/today", "/news"} {
+		src, err := client.Get(url)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("GET %-12s served from %s\n", url, src)
+		client.Wait() // let background prefetches land before the next click
+	}
+
+	cst := client.Stats()
+	sst := srv.Stats()
+	fmt.Printf("\nclient: %d requests, %d prefetch hits, %d cache hits (hit ratio %.0f%%)\n",
+		cst.Requests, cst.PrefetchHits, cst.CacheHits, 100*cst.HitRatio())
+	fmt.Printf("server: %d demand requests seen, %d prefetch fetches, %d hints issued\n",
+		sst.DemandRequests, sst.PrefetchRequests, sst.HintsIssued)
+}

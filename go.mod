@@ -1,0 +1,3 @@
+module pbppm
+
+go 1.22

@@ -1,0 +1,219 @@
+// Package analysis reproduces the paper's observational study of Web
+// surfing patterns (§1 and §3.1, after the authors' companion report
+// "Popularity-based Web surfing patterns"): quantitative measurements
+// of the three regularities, session-length distributions, popularity
+// grade transition structure, and a Zipf fit of the URL popularity
+// distribution. The trace generator's tests use these measurements to
+// prove the synthetic workloads carry the structure the paper's
+// findings rest on; cmd/traceinfo reports them for any trace.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"pbppm/internal/popularity"
+	"pbppm/internal/session"
+)
+
+// RegularityReport quantifies the paper's three surfing regularities
+// over a sessionized trace.
+type RegularityReport struct {
+	Sessions int
+
+	// R1: most sessions start from popular URLs while most URLs are
+	// unpopular.
+	PopularHeadShare   float64 // sessions headed by grade >= 2 URLs
+	UnpopularURLShare  float64 // URLs of grade <= 1
+	HeadGradeHistogram [4]int
+
+	// R2: long sessions are headed by popular URLs.
+	LongSessions         int
+	LongPopularHeadShare float64
+
+	// R3: paths descend in popularity and exit at the least popular.
+	Descents, Ascents, Flats int
+	ExitGradeHistogram       [4]int
+}
+
+// LongSessionMin is the click count from which a session counts as
+// long for Regularity 2.
+const LongSessionMin = 6
+
+// MeasureRegularities computes a RegularityReport. The ranking is
+// derived from the sessions themselves (page views only).
+func MeasureRegularities(sessions []session.Session) (RegularityReport, *popularity.Ranking) {
+	rank := popularity.NewRanking()
+	for _, s := range sessions {
+		for _, v := range s.Views {
+			rank.Observe(v.URL, 1)
+		}
+	}
+	var rep RegularityReport
+	rep.Sessions = len(sessions)
+
+	popularHeads, longPopular := 0, 0
+	for _, s := range sessions {
+		urls := s.URLs()
+		headGrade := rank.GradeOf(urls[0])
+		rep.HeadGradeHistogram[headGrade]++
+		if headGrade >= 2 {
+			popularHeads++
+		}
+		if len(urls) >= LongSessionMin {
+			rep.LongSessions++
+			if headGrade >= 2 {
+				longPopular++
+			}
+		}
+		rep.ExitGradeHistogram[rank.GradeOf(urls[len(urls)-1])]++
+		for i := 1; i < len(urls); i++ {
+			a, b := rank.GradeOf(urls[i-1]), rank.GradeOf(urls[i])
+			switch {
+			case b < a:
+				rep.Descents++
+			case b > a:
+				rep.Ascents++
+			default:
+				rep.Flats++
+			}
+		}
+	}
+	if rep.Sessions > 0 {
+		rep.PopularHeadShare = float64(popularHeads) / float64(rep.Sessions)
+	}
+	if rep.LongSessions > 0 {
+		rep.LongPopularHeadShare = float64(longPopular) / float64(rep.LongSessions)
+	}
+	hist := rank.GradeHistogram()
+	total := 0
+	for _, n := range hist {
+		total += n
+	}
+	if total > 0 {
+		rep.UnpopularURLShare = float64(hist[0]+hist[1]) / float64(total)
+	}
+	return rep, rank
+}
+
+// Holds reports whether the three regularities hold in their paper
+// form: a majority of popular heads over a majority-unpopular URL
+// population, popular-headed long sessions, and net descending drift.
+func (r RegularityReport) Holds() bool {
+	return r.PopularHeadShare > 0.5 &&
+		r.UnpopularURLShare > 0.5 &&
+		r.LongPopularHeadShare > 0.5 &&
+		r.Descents > r.Ascents
+}
+
+// String renders the report.
+func (r RegularityReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sessions %d\n", r.Sessions)
+	fmt.Fprintf(&sb, "R1: popular heads %.1f%%, unpopular URLs %.1f%% (heads by grade %v)\n",
+		100*r.PopularHeadShare, 100*r.UnpopularURLShare, r.HeadGradeHistogram)
+	fmt.Fprintf(&sb, "R2: long sessions %d, popular-headed %.1f%%\n",
+		r.LongSessions, 100*r.LongPopularHeadShare)
+	fmt.Fprintf(&sb, "R3: descents %d, ascents %d, flats %d (exits by grade %v)\n",
+		r.Descents, r.Ascents, r.Flats, r.ExitGradeHistogram)
+	return sb.String()
+}
+
+// LengthDistribution summarizes session lengths.
+type LengthDistribution struct {
+	Histogram  map[int]int
+	Mean       float64
+	Median     int
+	P95        int
+	Max        int
+	AtMostNine float64 // the paper's ">95% of sessions have <= 9 clicks"
+}
+
+// MeasureLengths computes the session-length distribution.
+func MeasureLengths(sessions []session.Session) LengthDistribution {
+	d := LengthDistribution{Histogram: make(map[int]int)}
+	if len(sessions) == 0 {
+		return d
+	}
+	lengths := make([]int, len(sessions))
+	sum, short := 0, 0
+	for i, s := range sessions {
+		n := s.Len()
+		lengths[i] = n
+		d.Histogram[n]++
+		sum += n
+		if n <= 9 {
+			short++
+		}
+		if n > d.Max {
+			d.Max = n
+		}
+	}
+	sort.Ints(lengths)
+	d.Mean = float64(sum) / float64(len(lengths))
+	d.Median = lengths[len(lengths)/2]
+	d.P95 = lengths[(len(lengths)*95)/100]
+	d.AtMostNine = float64(short) / float64(len(sessions))
+	return d
+}
+
+// TransitionMatrix counts click transitions between popularity grades:
+// cell [a][b] is the number of clicks from a grade-a page to a grade-b
+// page. Row-normalizing exposes Regularity 3's structure.
+func TransitionMatrix(sessions []session.Session, rank *popularity.Ranking) [4][4]int64 {
+	var m [4][4]int64
+	for _, s := range sessions {
+		urls := s.URLs()
+		for i := 1; i < len(urls); i++ {
+			a := rank.GradeOf(urls[i-1])
+			b := rank.GradeOf(urls[i])
+			m[a][b]++
+		}
+	}
+	return m
+}
+
+// ZipfFit estimates the Zipf exponent alpha of the URL popularity
+// distribution by least-squares on log(count) vs log(rank), together
+// with the fit's R². Web server popularity classically fits alpha
+// near 1. It returns an error with fewer than three distinct URLs.
+func ZipfFit(rank *popularity.Ranking) (alpha, r2 float64, err error) {
+	urls := rank.Top(rank.Len())
+	if len(urls) < 3 {
+		return 0, 0, fmt.Errorf("analysis: zipf fit needs >= 3 URLs, have %d", len(urls))
+	}
+	var n, sx, sy, sxx, sxy float64
+	ys := make([]float64, len(urls))
+	xs := make([]float64, len(urls))
+	for i, u := range urls {
+		x := math.Log(float64(i + 1))
+		y := math.Log(float64(rank.Count(u)))
+		xs[i], ys[i] = x, y
+		n++
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, fmt.Errorf("analysis: degenerate rank distribution")
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+	alpha = -slope
+
+	mean := sy / n
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := intercept + slope*xs[i]
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - mean) * (ys[i] - mean)
+	}
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return alpha, r2, nil
+}

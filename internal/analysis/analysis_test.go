@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"pbppm/internal/popularity"
+	"pbppm/internal/session"
+	"pbppm/internal/tracegen"
+)
+
+var epoch = time.Date(1995, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func mkSession(urls ...string) session.Session {
+	s := session.Session{Client: "c"}
+	for i, u := range urls {
+		s.Views = append(s.Views, session.PageView{URL: u, Time: epoch.Add(time.Duration(i) * time.Minute)})
+	}
+	return s
+}
+
+// structured builds a session set with known regularity structure: a
+// very popular head /hub (grade 3), mid pages shared by ten sessions
+// each (grade 2), and unique leaves (grade 0/1).
+func structured() []session.Session {
+	var out []session.Session
+	for i := 0; i < 200; i++ {
+		mid := fmt.Sprintf("/mid%02d.html", i/10)
+		leaf1 := fmt.Sprintf("/leaf%03da.html", i)
+		leaf2 := fmt.Sprintf("/leaf%03db.html", i)
+		out = append(out, mkSession("/hub", mid, leaf1, leaf2))
+	}
+	// Long popular-headed sessions with unique deep tails.
+	for i := 0; i < 8; i++ {
+		out = append(out, mkSession("/hub", "/mid00.html",
+			fmt.Sprintf("/deep%02da.html", i), fmt.Sprintf("/deep%02db.html", i),
+			fmt.Sprintf("/deep%02dc.html", i), fmt.Sprintf("/deep%02dd.html", i)))
+	}
+	// A couple of unpopular-headed short sessions.
+	out = append(out, mkSession("/zq9.html"), mkSession("/zq8.html"))
+	return out
+}
+
+func TestMeasureRegularities(t *testing.T) {
+	rep, rank := MeasureRegularities(structured())
+	if rep.Sessions != 210 {
+		t.Fatalf("sessions = %d", rep.Sessions)
+	}
+	if rep.PopularHeadShare < 0.9 {
+		t.Errorf("popular head share = %v", rep.PopularHeadShare)
+	}
+	if rep.UnpopularURLShare < 0.5 {
+		t.Errorf("unpopular URL share = %v", rep.UnpopularURLShare)
+	}
+	if rep.LongSessions != 8 || rep.LongPopularHeadShare != 1 {
+		t.Errorf("long = %d, popular-headed %v", rep.LongSessions, rep.LongPopularHeadShare)
+	}
+	if rep.Descents <= rep.Ascents {
+		t.Errorf("descents %d <= ascents %d", rep.Descents, rep.Ascents)
+	}
+	if !rep.Holds() {
+		t.Error("regularities do not hold on structured data")
+	}
+	if rank.GradeOf("/hub") != 3 {
+		t.Errorf("hub grade = %v", rank.GradeOf("/hub"))
+	}
+	out := rep.String()
+	for _, want := range []string{"R1:", "R2:", "R3:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestMeasureRegularitiesEmpty(t *testing.T) {
+	rep, _ := MeasureRegularities(nil)
+	if rep.Sessions != 0 || rep.Holds() {
+		t.Errorf("empty report = %+v", rep)
+	}
+}
+
+func TestMeasureLengths(t *testing.T) {
+	var sessions []session.Session
+	for _, n := range []int{1, 1, 2, 3, 3, 3, 4, 8, 12, 20} {
+		urls := make([]string, n)
+		for i := range urls {
+			urls[i] = "/x"
+		}
+		sessions = append(sessions, mkSession(urls...))
+	}
+	d := MeasureLengths(sessions)
+	if d.Max != 20 || d.Median != 3 {
+		t.Errorf("max=%d median=%d", d.Max, d.Median)
+	}
+	if d.Mean < 5.6 || d.Mean > 5.8 {
+		t.Errorf("mean = %v", d.Mean)
+	}
+	if d.AtMostNine != 0.8 {
+		t.Errorf("AtMostNine = %v", d.AtMostNine)
+	}
+	if d.Histogram[3] != 3 {
+		t.Errorf("hist[3] = %d", d.Histogram[3])
+	}
+	if got := MeasureLengths(nil); got.Mean != 0 {
+		t.Errorf("empty lengths = %+v", got)
+	}
+}
+
+func TestTransitionMatrix(t *testing.T) {
+	sessions := structured()
+	_, rank := MeasureRegularities(sessions)
+	m := TransitionMatrix(sessions, rank)
+	var total int64
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			total += m[a][b]
+		}
+	}
+	clicks := int64(0)
+	for _, s := range sessions {
+		clicks += int64(s.Len() - 1)
+	}
+	if total != clicks {
+		t.Errorf("matrix mass %d != transitions %d", total, clicks)
+	}
+	// The dominant flow out of grade 3 heads downward.
+	down := m[3][0] + m[3][1] + m[3][2]
+	if down <= m[3][3] {
+		t.Errorf("grade-3 outflow not descending: down %d vs flat %d", down, m[3][3])
+	}
+}
+
+func TestZipfFitRecoversExponent(t *testing.T) {
+	rank := popularity.NewRanking()
+	// Plant a perfect Zipf with alpha = 1.2 over 200 URLs.
+	alpha := 1.2
+	for i := 0; i < 200; i++ {
+		count := int64(math.Round(1e6 / math.Pow(float64(i+1), alpha)))
+		if count < 1 {
+			count = 1
+		}
+		rank.Observe("/u"+string(rune('a'+i%26))+string(rune('0'+i/26)), count)
+	}
+	got, r2, err := ZipfFit(rank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 1.1 || got > 1.3 {
+		t.Errorf("alpha = %v, want ~1.2", got)
+	}
+	if r2 < 0.99 {
+		t.Errorf("r2 = %v", r2)
+	}
+}
+
+func TestZipfFitErrors(t *testing.T) {
+	rank := popularity.NewRanking()
+	rank.Observe("/a", 5)
+	if _, _, err := ZipfFit(rank); err == nil {
+		t.Error("fit with 1 URL accepted")
+	}
+}
+
+// TestSyntheticWorkloadRegularities ties the toolkit to the generator:
+// the NASA-like profile must exhibit all three regularities.
+func TestSyntheticWorkloadRegularities(t *testing.T) {
+	p := tracegen.NASA()
+	p.Days = 2
+	p.SessionsPerDay = 700
+	p.Pages = 400
+	p.EntryCount = 6
+	p.Browsers = 300
+	p.CrawlerPagesPerDay = 100
+	tr, err := tracegen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := session.Sessionize(tr, session.Config{})
+	rep, rank := MeasureRegularities(sessions)
+	if !rep.Holds() {
+		t.Errorf("synthetic workload violates the regularities:\n%s", rep)
+	}
+	alpha, r2, err := ZipfFit(rank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha < 0.4 || alpha > 2.5 {
+		t.Errorf("implausible Zipf alpha %v (r2 %v)", alpha, r2)
+	}
+}
+
+// Property: transition matrix mass always equals total transitions for
+// random session sets.
+func TestTransitionMassProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	var sessions []session.Session
+	for i := 0; i < 300; i++ {
+		n := rng.Intn(8) + 1
+		urls := make([]string, n)
+		for j := range urls {
+			urls[j] = "/p" + string(rune('a'+rng.Intn(15)))
+		}
+		sessions = append(sessions, mkSession(urls...))
+	}
+	rep, rank := MeasureRegularities(sessions)
+	m := TransitionMatrix(sessions, rank)
+	var mass int64
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			mass += m[a][b]
+		}
+	}
+	if mass != int64(rep.Descents+rep.Ascents+rep.Flats) {
+		t.Errorf("matrix mass %d != %d", mass, rep.Descents+rep.Ascents+rep.Flats)
+	}
+}

@@ -1,0 +1,162 @@
+// Package cache implements the byte-capacity LRU cache the simulator
+// uses for both browsers (1 MB) and proxies (16 GB), per §2.2 of the
+// paper ("The cache replacement algorithm used in our simulator is
+// LRU"). Entries remember whether they arrived by prefetch so hit
+// accounting can attribute hits to prefetching versus ordinary caching.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// DefaultBrowserCapacity is the paper's browser cache size (1 MB).
+const DefaultBrowserCapacity = 1 << 20
+
+// DefaultProxyCapacity is the paper's proxy disk cache size (16 GB).
+const DefaultProxyCapacity = 16 << 30
+
+// entry is one cached document.
+type entry struct {
+	url        string
+	size       int64
+	prefetched bool
+}
+
+// LRU is a least-recently-used cache bounded by total byte size.
+// It is not safe for concurrent use; the simulator is single-threaded
+// per cache.
+type LRU struct {
+	capacity int64
+	used     int64
+	ll       *list.List               // front = most recent
+	items    map[string]*list.Element // url -> element holding *entry
+
+	// statistics
+	hits, misses, puts, evictions int64
+}
+
+// NewLRU returns an empty cache with the given byte capacity. It panics
+// on a non-positive capacity: a cache that can hold nothing is a
+// configuration error, not a runtime condition.
+func NewLRU(capacity int64) *LRU {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cache: non-positive capacity %d", capacity))
+	}
+	return &LRU{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Capacity returns the configured byte capacity.
+func (c *LRU) Capacity() int64 { return c.capacity }
+
+// Used returns the bytes currently cached.
+func (c *LRU) Used() int64 { return c.used }
+
+// Len returns the number of cached documents.
+func (c *LRU) Len() int { return len(c.items) }
+
+// Contains reports whether url is cached without touching recency or
+// statistics.
+func (c *LRU) Contains(url string) bool {
+	_, ok := c.items[url]
+	return ok
+}
+
+// Get looks up url, promoting it to most-recently-used on a hit. The
+// second result reports whether the cached copy arrived by prefetch.
+func (c *LRU) Get(url string) (ok, prefetched bool) {
+	el, found := c.items[url]
+	if !found {
+		c.misses++
+		return false, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return true, el.Value.(*entry).prefetched
+}
+
+// Put inserts or refreshes url with the given size. prefetched tags the
+// copy's origin; re-putting an entry updates its size, tag, and
+// recency. Documents larger than the whole cache are ignored (they
+// could never be useful and would evict everything). Sizes must be
+// non-negative; zero-size documents occupy an entry slot only.
+func (c *LRU) Put(url string, size int64, prefetched bool) {
+	if size < 0 {
+		panic(fmt.Sprintf("cache: negative size %d for %s", size, url))
+	}
+	if size > c.capacity {
+		return
+	}
+	c.puts++
+	if el, ok := c.items[url]; ok {
+		e := el.Value.(*entry)
+		c.used += size - e.size
+		e.size = size
+		e.prefetched = prefetched
+		c.ll.MoveToFront(el)
+	} else {
+		el := c.ll.PushFront(&entry{url: url, size: size, prefetched: prefetched})
+		c.items[url] = el
+		c.used += size
+	}
+	for c.used > c.capacity {
+		c.evictOldest()
+	}
+}
+
+// MarkDemand clears the prefetched tag on url if cached: once a
+// prefetched copy has served a real request, later hits are ordinary
+// cache hits.
+func (c *LRU) MarkDemand(url string) {
+	if el, ok := c.items[url]; ok {
+		el.Value.(*entry).prefetched = false
+	}
+}
+
+// Remove evicts url if present and reports whether it was cached.
+func (c *LRU) Remove(url string) bool {
+	el, ok := c.items[url]
+	if !ok {
+		return false
+	}
+	c.removeElement(el)
+	return true
+}
+
+func (c *LRU) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	c.evictions++
+	c.removeElement(el)
+}
+
+func (c *LRU) removeElement(el *list.Element) {
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.items, e.url)
+	c.used -= e.size
+}
+
+// Stats is a snapshot of cache counters.
+type Stats struct {
+	Hits, Misses, Puts, Evictions int64
+}
+
+// Stats returns the current counters.
+func (c *LRU) Stats() Stats {
+	return Stats{Hits: c.hits, Misses: c.misses, Puts: c.puts, Evictions: c.evictions}
+}
+
+// Reset empties the cache and clears statistics, keeping the capacity.
+func (c *LRU) Reset() {
+	c.ll = list.New()
+	c.items = make(map[string]*list.Element)
+	c.used = 0
+	c.hits, c.misses, c.puts, c.evictions = 0, 0, 0, 0
+}

@@ -1,0 +1,212 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicPutGet(t *testing.T) {
+	c := NewLRU(100)
+	c.Put("/a", 40, false)
+	if ok, pf := c.Get("/a"); !ok || pf {
+		t.Errorf("Get(/a) = %v,%v, want hit, not prefetched", ok, pf)
+	}
+	if ok, _ := c.Get("/b"); ok {
+		t.Error("Get(/b) hit on empty entry")
+	}
+	if c.Used() != 40 || c.Len() != 1 || c.Capacity() != 100 {
+		t.Errorf("Used=%d Len=%d Cap=%d", c.Used(), c.Len(), c.Capacity())
+	}
+}
+
+func TestNewLRUPanics(t *testing.T) {
+	for _, cap := range []int64{0, -5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewLRU(%d) did not panic", cap)
+				}
+			}()
+			NewLRU(cap)
+		}()
+	}
+}
+
+func TestPutNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Put(size=-1) did not panic")
+		}
+	}()
+	NewLRU(10).Put("/a", -1, false)
+}
+
+func TestEvictionOrder(t *testing.T) {
+	c := NewLRU(100)
+	c.Put("/a", 40, false)
+	c.Put("/b", 40, false)
+	c.Get("/a") // promote /a; /b is now LRU
+	c.Put("/c", 40, false)
+	if c.Contains("/b") {
+		t.Error("/b not evicted")
+	}
+	if !c.Contains("/a") || !c.Contains("/c") {
+		t.Error("wrong entry evicted")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestOversizeDocumentIgnored(t *testing.T) {
+	c := NewLRU(100)
+	c.Put("/big", 200, false)
+	if c.Len() != 0 || c.Used() != 0 {
+		t.Error("oversize document cached")
+	}
+	c.Put("/a", 60, false)
+	c.Put("/big", 200, false)
+	if !c.Contains("/a") {
+		t.Error("oversize put disturbed existing entries")
+	}
+}
+
+func TestUpdateExistingEntry(t *testing.T) {
+	c := NewLRU(100)
+	c.Put("/a", 30, true)
+	c.Put("/a", 50, false)
+	if c.Used() != 50 || c.Len() != 1 {
+		t.Errorf("Used=%d Len=%d after resize", c.Used(), c.Len())
+	}
+	if _, pf := c.Get("/a"); pf {
+		t.Error("prefetch tag not updated")
+	}
+}
+
+func TestPrefetchTagAndMarkDemand(t *testing.T) {
+	c := NewLRU(100)
+	c.Put("/p", 10, true)
+	if _, pf := c.Get("/p"); !pf {
+		t.Error("prefetch tag lost")
+	}
+	c.MarkDemand("/p")
+	if _, pf := c.Get("/p"); pf {
+		t.Error("MarkDemand did not clear tag")
+	}
+	c.MarkDemand("/absent") // must not panic
+}
+
+func TestRemove(t *testing.T) {
+	c := NewLRU(100)
+	c.Put("/a", 10, false)
+	if !c.Remove("/a") {
+		t.Error("Remove(/a) = false")
+	}
+	if c.Remove("/a") {
+		t.Error("second Remove(/a) = true")
+	}
+	if c.Used() != 0 || c.Len() != 0 {
+		t.Error("remove did not release space")
+	}
+}
+
+func TestZeroSizeEntries(t *testing.T) {
+	c := NewLRU(10)
+	c.Put("/z", 0, false)
+	if ok, _ := c.Get("/z"); !ok {
+		t.Error("zero-size entry not cached")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	c := NewLRU(100)
+	c.Put("/a", 10, false)
+	c.Get("/a")
+	c.Get("/a")
+	c.Get("/miss")
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Puts != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := NewLRU(100)
+	c.Put("/a", 10, false)
+	c.Get("/a")
+	c.Reset()
+	if c.Len() != 0 || c.Used() != 0 {
+		t.Error("Reset left entries")
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Puts != 0 {
+		t.Errorf("Reset left stats %+v", st)
+	}
+	if c.Capacity() != 100 {
+		t.Error("Reset changed capacity")
+	}
+	c.Put("/b", 10, false)
+	if !c.Contains("/b") {
+		t.Error("cache unusable after Reset")
+	}
+}
+
+// Property: used bytes never exceed capacity and always equal the sum
+// of resident entry sizes, across random operation sequences.
+func TestCapacityInvariantProperty(t *testing.T) {
+	f := func(ops []uint16, capSeed uint8) bool {
+		capacity := int64(capSeed)%500 + 50
+		c := NewLRU(capacity)
+		resident := make(map[string]int64)
+		for _, op := range ops {
+			url := fmt.Sprintf("/u%d", op%37)
+			size := int64(op % 97)
+			switch op % 3 {
+			case 0:
+				c.Put(url, size, op%2 == 0)
+				if size <= capacity {
+					resident[url] = size
+				}
+			case 1:
+				c.Get(url)
+			case 2:
+				c.Remove(url)
+				delete(resident, url)
+			}
+			// Rebuild resident from the cache's own view (evictions).
+			var sum int64
+			for u, s := range resident {
+				if c.Contains(u) {
+					sum += s
+				} else {
+					delete(resident, u)
+				}
+			}
+			if c.Used() != sum || c.Used() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LRU never evicts the most recently touched entry when at
+// least two entries fit.
+func TestMRUSurvivesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := NewLRU(1000)
+	var last string
+	for i := 0; i < 2000; i++ {
+		url := fmt.Sprintf("/u%d", rng.Intn(50))
+		size := int64(rng.Intn(400) + 1)
+		c.Put(url, size, false)
+		last = url
+		if !c.Contains(last) {
+			t.Fatalf("most recent entry %s (size %d) evicted", last, size)
+		}
+	}
+}

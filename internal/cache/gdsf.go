@@ -1,0 +1,216 @@
+package cache
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// GDSF is a popularity-aware GreedyDual-Size-Frequency cache — the
+// policy of Jin & Bestavros's "popularity-aware greedy-dual-size"
+// proxy caching work the paper cites for its latency methodology
+// ([16]). Each document carries a value
+//
+//	H = L + frequency / size
+//
+// where L is an aging inflation term: on eviction L rises to the
+// evicted document's H, so long-idle documents decay relative to fresh
+// ones. Small, frequently accessed documents are retained longest,
+// which suits Web workloads where popular documents are small.
+//
+// GDSF implements the same operations as LRU so the simulator can swap
+// policies; it is not safe for concurrent use.
+type GDSF struct {
+	capacity int64
+	used     int64
+	inflate  float64
+	items    map[string]*gdsfEntry
+	pq       gdsfHeap
+	seq      int64 // tie-breaker so eviction order is deterministic
+
+	hits, misses, puts, evictions int64
+}
+
+type gdsfEntry struct {
+	url        string
+	size       int64
+	freq       int64
+	value      float64
+	prefetched bool
+	index      int   // heap index
+	seq        int64 // insertion order tie-break
+}
+
+// NewGDSF returns an empty GDSF cache with the given byte capacity.
+// It panics on a non-positive capacity, matching NewLRU.
+func NewGDSF(capacity int64) *GDSF {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cache: non-positive capacity %d", capacity))
+	}
+	return &GDSF{capacity: capacity, items: make(map[string]*gdsfEntry)}
+}
+
+// Capacity returns the configured byte capacity.
+func (c *GDSF) Capacity() int64 { return c.capacity }
+
+// Used returns the bytes currently cached.
+func (c *GDSF) Used() int64 { return c.used }
+
+// Len returns the number of cached documents.
+func (c *GDSF) Len() int { return len(c.items) }
+
+// Contains reports whether url is cached without touching statistics.
+func (c *GDSF) Contains(url string) bool {
+	_, ok := c.items[url]
+	return ok
+}
+
+// value computes H = L + freq/size. Zero-size documents count as one
+// byte so their value stays finite.
+func (c *GDSF) value(freq, size int64) float64 {
+	s := size
+	if s <= 0 {
+		s = 1
+	}
+	return c.inflate + float64(freq)/float64(s)
+}
+
+// Get looks up url, bumping its frequency and value on a hit. The
+// second result reports whether the cached copy arrived by prefetch.
+func (c *GDSF) Get(url string) (ok, prefetched bool) {
+	e, found := c.items[url]
+	if !found {
+		c.misses++
+		return false, false
+	}
+	c.hits++
+	e.freq++
+	e.value = c.value(e.freq, e.size)
+	heap.Fix(&c.pq, e.index)
+	return true, e.prefetched
+}
+
+// Put inserts or refreshes url. Oversize documents are ignored, like
+// LRU. Re-putting keeps the accumulated frequency.
+func (c *GDSF) Put(url string, size int64, prefetched bool) {
+	if size < 0 {
+		panic(fmt.Sprintf("cache: negative size %d for %s", size, url))
+	}
+	if size > c.capacity {
+		return
+	}
+	c.puts++
+	if e, ok := c.items[url]; ok {
+		c.used += size - e.size
+		e.size = size
+		e.prefetched = prefetched
+		e.value = c.value(e.freq, e.size)
+		heap.Fix(&c.pq, e.index)
+	} else {
+		c.seq++
+		e := &gdsfEntry{
+			url: url, size: size, freq: 1, prefetched: prefetched, seq: c.seq,
+		}
+		e.value = c.value(e.freq, e.size)
+		heap.Push(&c.pq, e)
+		c.items[url] = e
+		c.used += size
+	}
+	for c.used > c.capacity {
+		c.evictLowest()
+	}
+}
+
+// MarkDemand clears the prefetched tag on url if cached.
+func (c *GDSF) MarkDemand(url string) {
+	if e, ok := c.items[url]; ok {
+		e.prefetched = false
+	}
+}
+
+// Remove evicts url if present and reports whether it was cached.
+func (c *GDSF) Remove(url string) bool {
+	e, ok := c.items[url]
+	if !ok {
+		return false
+	}
+	heap.Remove(&c.pq, e.index)
+	delete(c.items, url)
+	c.used -= e.size
+	return true
+}
+
+func (c *GDSF) evictLowest() {
+	if c.pq.Len() == 0 {
+		return
+	}
+	e := heap.Pop(&c.pq).(*gdsfEntry)
+	delete(c.items, e.url)
+	c.used -= e.size
+	c.evictions++
+	// Aging: future insertions start at the evicted value, so stale
+	// high-frequency entries eventually give way.
+	if e.value > c.inflate {
+		c.inflate = e.value
+	}
+}
+
+// Stats returns the current counters.
+func (c *GDSF) Stats() Stats {
+	return Stats{Hits: c.hits, Misses: c.misses, Puts: c.puts, Evictions: c.evictions}
+}
+
+// Reset empties the cache and clears statistics and aging state.
+func (c *GDSF) Reset() {
+	c.items = make(map[string]*gdsfEntry)
+	c.pq = nil
+	c.used, c.inflate, c.seq = 0, 0, 0
+	c.hits, c.misses, c.puts, c.evictions = 0, 0, 0, 0
+}
+
+// gdsfHeap is a min-heap on (value, seq).
+type gdsfHeap []*gdsfEntry
+
+func (h gdsfHeap) Len() int { return len(h) }
+func (h gdsfHeap) Less(i, j int) bool {
+	if h[i].value != h[j].value {
+		return h[i].value < h[j].value
+	}
+	return h[i].seq < h[j].seq
+}
+func (h gdsfHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *gdsfHeap) Push(x any) {
+	e := x.(*gdsfEntry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *gdsfHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Policy is the cache behavior the simulator depends on; *LRU and
+// *GDSF both implement it.
+type Policy interface {
+	Get(url string) (ok, prefetched bool)
+	Put(url string, size int64, prefetched bool)
+	MarkDemand(url string)
+	Contains(url string) bool
+	Remove(url string) bool
+	Used() int64
+	Capacity() int64
+	Len() int
+	Stats() Stats
+}
+
+var (
+	_ Policy = (*LRU)(nil)
+	_ Policy = (*GDSF)(nil)
+)

@@ -1,0 +1,219 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGDSFBasicPutGet(t *testing.T) {
+	c := NewGDSF(100)
+	c.Put("/a", 40, false)
+	if ok, pf := c.Get("/a"); !ok || pf {
+		t.Errorf("Get(/a) = %v,%v", ok, pf)
+	}
+	if ok, _ := c.Get("/b"); ok {
+		t.Error("hit on absent entry")
+	}
+	if c.Used() != 40 || c.Len() != 1 || c.Capacity() != 100 {
+		t.Errorf("Used=%d Len=%d", c.Used(), c.Len())
+	}
+}
+
+func TestGDSFPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewGDSF(0) did not panic")
+			}
+		}()
+		NewGDSF(0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Put(-1) did not panic")
+			}
+		}()
+		NewGDSF(10).Put("/a", -1, false)
+	}()
+}
+
+func TestGDSFPrefersFrequentSmallDocs(t *testing.T) {
+	c := NewGDSF(100)
+	c.Put("/hot-small", 20, false)
+	for i := 0; i < 10; i++ {
+		c.Get("/hot-small")
+	}
+	c.Put("/cold-big", 70, false)
+	// Inserting another large doc must evict the cold big one, not the
+	// hot small one.
+	c.Put("/new-big", 60, false)
+	if !c.Contains("/hot-small") {
+		t.Error("hot small document evicted")
+	}
+	if c.Contains("/cold-big") {
+		t.Error("cold big document kept")
+	}
+	if !c.Contains("/new-big") {
+		t.Error("new document not admitted")
+	}
+}
+
+func TestGDSFAgingEvictsStaleEntries(t *testing.T) {
+	c := NewGDSF(100)
+	c.Put("/once-hot", 10, false)
+	for i := 0; i < 5; i++ {
+		c.Get("/once-hot")
+	}
+	// Many eviction rounds inflate L past the stale entry's value.
+	for i := 0; i < 200; i++ {
+		c.Put(fmt.Sprintf("/churn%d", i), 90, false)
+		c.Get(fmt.Sprintf("/churn%d", i))
+	}
+	if c.Contains("/once-hot") {
+		t.Error("stale entry survived indefinitely despite aging")
+	}
+}
+
+func TestGDSFOversizeIgnored(t *testing.T) {
+	c := NewGDSF(100)
+	c.Put("/big", 200, false)
+	if c.Len() != 0 {
+		t.Error("oversize cached")
+	}
+}
+
+func TestGDSFUpdateKeepsFrequency(t *testing.T) {
+	c := NewGDSF(1000)
+	c.Put("/a", 10, true)
+	c.Get("/a")
+	c.Get("/a")
+	c.Put("/a", 20, false) // refresh with new size and tag
+	if c.Used() != 20 {
+		t.Errorf("Used = %d", c.Used())
+	}
+	if _, pf := c.Get("/a"); pf {
+		t.Error("tag not updated")
+	}
+	e := c.items["/a"]
+	if e.freq < 3 {
+		t.Errorf("frequency reset: %d", e.freq)
+	}
+}
+
+func TestGDSFMarkDemandAndRemove(t *testing.T) {
+	c := NewGDSF(100)
+	c.Put("/p", 10, true)
+	c.MarkDemand("/p")
+	if _, pf := c.Get("/p"); pf {
+		t.Error("MarkDemand failed")
+	}
+	if !c.Remove("/p") || c.Remove("/p") {
+		t.Error("Remove semantics broken")
+	}
+	if c.Used() != 0 {
+		t.Error("Remove leaked bytes")
+	}
+	c.MarkDemand("/absent") // no panic
+}
+
+func TestGDSFReset(t *testing.T) {
+	c := NewGDSF(100)
+	c.Put("/a", 10, false)
+	c.Get("/a")
+	c.Reset()
+	if c.Len() != 0 || c.Used() != 0 || c.Stats().Hits != 0 {
+		t.Error("Reset incomplete")
+	}
+	c.Put("/b", 10, false)
+	if !c.Contains("/b") {
+		t.Error("cache unusable after Reset")
+	}
+}
+
+// Property: used bytes equal the sum of resident sizes and never exceed
+// capacity, under random operation mixes.
+func TestGDSFCapacityInvariantProperty(t *testing.T) {
+	f := func(ops []uint16, capSeed uint8) bool {
+		capacity := int64(capSeed)%500 + 50
+		c := NewGDSF(capacity)
+		sizes := make(map[string]int64)
+		for _, op := range ops {
+			url := fmt.Sprintf("/u%d", op%31)
+			size := int64(op % 89)
+			switch op % 3 {
+			case 0:
+				c.Put(url, size, op%2 == 0)
+				if size <= capacity {
+					sizes[url] = size
+				}
+			case 1:
+				c.Get(url)
+			case 2:
+				c.Remove(url)
+			}
+			var sum int64
+			for u, s := range sizes {
+				if c.Contains(u) {
+					sum += s
+				} else {
+					delete(sizes, u)
+				}
+			}
+			if c.Used() != sum || c.Used() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: under a Zipf-like reference stream, GDSF achieves at least
+// the hit ratio of LRU with equal capacity (the reason to prefer it
+// for Web workloads).
+func TestGDSFBeatsLRUOnZipfStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	gdsf := NewGDSF(4000)
+	lru := NewLRU(4000)
+	type doc struct {
+		url  string
+		size int64
+	}
+	docs := make([]doc, 200)
+	for i := range docs {
+		docs[i] = doc{
+			url: fmt.Sprintf("/d%03d", i),
+			// Popular docs (low index) are small — the web regime GDSF
+			// is designed for.
+			size: int64(100 + i*10),
+		}
+	}
+	pick := func() doc {
+		// Zipf-ish: favor low indices.
+		x := rng.Float64()
+		idx := int(x * x * float64(len(docs)))
+		if idx >= len(docs) {
+			idx = len(docs) - 1
+		}
+		return docs[idx]
+	}
+	for i := 0; i < 20000; i++ {
+		d := pick()
+		if ok, _ := gdsf.Get(d.url); !ok {
+			gdsf.Put(d.url, d.size, false)
+		}
+		if ok, _ := lru.Get(d.url); !ok {
+			lru.Put(d.url, d.size, false)
+		}
+	}
+	g := float64(gdsf.Stats().Hits) / float64(gdsf.Stats().Hits+gdsf.Stats().Misses)
+	l := float64(lru.Stats().Hits) / float64(lru.Stats().Hits+lru.Stats().Misses)
+	if g < l {
+		t.Errorf("GDSF hit ratio %.3f below LRU %.3f on Zipf stream", g, l)
+	}
+}

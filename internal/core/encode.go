@@ -1,0 +1,60 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"pbppm/internal/markov"
+	"pbppm/internal/popularity"
+)
+
+// wireModel is the gob image of a popularity-based model. The grader
+// is not part of the image: grades are a live server concern and are
+// re-supplied at decode time (typically a persisted *Ranking).
+type wireModel struct {
+	Cfg   Config
+	Tree  []byte
+	Links map[string]map[string]int64
+}
+
+// Encode persists the trained model (configuration, tree, and
+// duplicated-node links). The popularity grader is intentionally not
+// included; pair this with Ranking.Encode when the grader is a ranking.
+func (m *Model) Encode(w io.Writer) error {
+	var treeBuf bytes.Buffer
+	if err := m.tree.Encode(&treeBuf); err != nil {
+		return fmt.Errorf("core: encoding model tree: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	img := wireModel{Cfg: m.cfg, Tree: treeBuf.Bytes(), Links: m.links}
+	if err := gob.NewEncoder(bw).Encode(img); err != nil {
+		return fmt.Errorf("core: encoding model: %w", err)
+	}
+	return bw.Flush()
+}
+
+// DecodeModel reads a model written by Encode, attaching the supplied
+// grader for subsequent training. It panics on a nil grader, matching
+// New.
+func DecodeModel(r io.Reader, grades popularity.Grader) (*Model, error) {
+	if grades == nil {
+		panic("core: nil popularity grader")
+	}
+	var img wireModel
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&img); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	tree, err := markov.DecodeTree(bytes.NewReader(img.Tree))
+	if err != nil {
+		return nil, fmt.Errorf("core: decoding model tree: %w", err)
+	}
+	m := New(grades, img.Cfg)
+	m.tree = tree
+	if img.Links != nil {
+		m.links = img.Links
+	}
+	return m, nil
+}

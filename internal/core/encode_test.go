@@ -1,0 +1,55 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"pbppm/internal/popularity"
+)
+
+func TestModelEncodeDecode(t *testing.T) {
+	grades := popularity.FixedGrades{"home": 3, "page": 1, "hot": 3}
+	m := New(grades, Config{RelProbCutoff: 0.01})
+	for i := 0; i < 5; i++ {
+		m.TrainSequence([]string{"home", "page", "hot"})
+	}
+	m.Optimize()
+
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := DecodeModel(&buf, grades)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.NodeCount() != m.NodeCount() || got.LinkCount() != m.LinkCount() {
+		t.Errorf("counts differ: %d/%d vs %d/%d",
+			got.NodeCount(), got.LinkCount(), m.NodeCount(), m.LinkCount())
+	}
+	want := m.Predict([]string{"home"})
+	have := got.Predict([]string{"home"})
+	if !reflect.DeepEqual(want, have) {
+		t.Errorf("predictions differ after round trip: %+v vs %+v", want, have)
+	}
+	// The decoded model must accept further training with the grader.
+	got.TrainSequence([]string{"home", "page"})
+	if got.Tree().Match([]string{"home"}).Count != m.Tree().Match([]string{"home"}).Count+1 {
+		t.Error("decoded model did not train")
+	}
+}
+
+func TestDecodeModelErrors(t *testing.T) {
+	if _, err := DecodeModel(bytes.NewReader([]byte("junk")), popularity.FixedGrades{}); err == nil {
+		t.Error("junk accepted")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil grader did not panic")
+			}
+		}()
+		DecodeModel(bytes.NewReader(nil), nil) //nolint:errcheck // panics first
+	}()
+}

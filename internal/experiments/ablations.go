@@ -1,0 +1,309 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"pbppm/internal/core"
+	"pbppm/internal/metrics"
+	"pbppm/internal/ppm"
+	"pbppm/internal/sim"
+)
+
+// pbVariant trains and evaluates one PB-PPM configuration on the
+// standard ablation window (all but the last day for training, the
+// last day for testing) and returns its metrics together with the
+// no-prefetch baseline.
+func pbVariant(w *Workload, cfg core.Config, maxPrefetch int64) (res, base metrics.Result, err error) {
+	trainDays := w.Days() - 1
+	if trainDays < 1 {
+		return res, base, fmt.Errorf("experiments: ablation needs at least 2 days, have %d", w.Days())
+	}
+	train := w.DaySessions(0, trainDays)
+	test := w.DaySessions(trainDays, trainDays+1)
+	if len(train) == 0 || len(test) == 0 {
+		return res, base, fmt.Errorf("experiments: ablation: empty window")
+	}
+	rank := Ranking(train)
+	model := core.New(rank, cfg)
+	sim.Train(model, train)
+
+	opt := sim.Options{
+		Predictor:        model,
+		MaxPrefetchBytes: maxPrefetch,
+		Path:             w.Path,
+		Grades:           rank,
+		Sizes:            w.Sizes,
+	}
+	res = sim.Run(test, opt)
+
+	baseOpt := opt
+	baseOpt.Predictor = nil
+	base = sim.Run(test, baseOpt)
+	return res, base, nil
+}
+
+// AblationRow is one configuration's outcome.
+type AblationRow struct {
+	Label            string
+	Result           metrics.Result
+	LatencyReduction float64
+}
+
+// Ablation is a labeled set of PB-PPM variants on one workload.
+type Ablation struct {
+	Name     string
+	Workload string
+	Rows     []AblationRow
+}
+
+// String renders the ablation as a table.
+func (a *Ablation) String() string {
+	tb := &metrics.Table{
+		Title:   fmt.Sprintf("Ablation %s — %s", a.Name, a.Workload),
+		Headers: []string{"variant", "hit ratio", "latency red.", "traffic inc.", "precision", "nodes"},
+	}
+	for _, r := range a.Rows {
+		tb.AddRow(r.Label,
+			metrics.Pct(r.Result.HitRatio()),
+			metrics.Pct(r.LatencyReduction),
+			metrics.Pct(r.Result.TrafficIncrease()),
+			metrics.Pct(r.Result.PrefetchPrecision()),
+			strconv.Itoa(r.Result.Nodes))
+	}
+	return tb.String()
+}
+
+// RunAblationThresholds sweeps PB-PPM's two prefetch thresholds: the
+// next-access probability and the maximum prefetched-document size,
+// quantifying the hit-ratio/traffic trade-off §4.1 and §5 discuss.
+func RunAblationThresholds(w *Workload) (*Ablation, error) {
+	a := &Ablation{Name: "thresholds", Workload: w.Name}
+	for _, prob := range []float64{0.10, 0.25, 0.40} {
+		for _, size := range []int64{4 * 1024, 10 * 1024, 30 * 1024} {
+			cfg := core.Config{Threshold: prob, RelProbCutoff: 0.01, DropSingletons: w.DropSingletons}
+			res, base, err := pbVariant(w, cfg, size)
+			if err != nil {
+				return nil, err
+			}
+			a.Rows = append(a.Rows, AblationRow{
+				Label:            fmt.Sprintf("p>=%.2f size<=%dKB", prob, size/1024),
+				Result:           res,
+				LatencyReduction: res.LatencyReductionVs(base),
+			})
+		}
+	}
+	return a, nil
+}
+
+// RunAblationSpaceOpt compares PB-PPM with no space optimization, with
+// the relative-access-probability cut alone, and with both
+// optimizations (§3.4's two alternatives).
+func RunAblationSpaceOpt(w *Workload) (*Ablation, error) {
+	a := &Ablation{Name: "space-optimization", Workload: w.Name}
+	variants := []struct {
+		label string
+		cfg   core.Config
+	}{
+		{"no optimization", core.Config{}},
+		{"rel-prob 1% cut", core.Config{RelProbCutoff: 0.01}},
+		{"rel-prob 5% cut", core.Config{RelProbCutoff: 0.05}},
+		{"rel-prob 10% cut", core.Config{RelProbCutoff: 0.10}},
+		{"1% cut + drop singletons", core.Config{RelProbCutoff: 0.01, DropSingletons: true}},
+	}
+	for _, v := range variants {
+		res, base, err := pbVariant(w, v.cfg, sim.PBMaxPrefetchBytes)
+		if err != nil {
+			return nil, err
+		}
+		a.Rows = append(a.Rows, AblationRow{
+			Label:            v.label,
+			Result:           res,
+			LatencyReduction: res.LatencyReductionVs(base),
+		})
+	}
+	return a, nil
+}
+
+// RunAblationHeights sweeps the grade→height mapping, testing the
+// paper's claim that popularity-proportional heights beat flat ones.
+func RunAblationHeights(w *Workload) (*Ablation, error) {
+	a := &Ablation{Name: "grade-heights", Workload: w.Name}
+	variants := []struct {
+		label   string
+		heights [4]int
+	}{
+		{"paper 1/3/5/7", [4]int{1, 3, 5, 7}},
+		{"flat 3/3/3/3", [4]int{3, 3, 3, 3}},
+		{"flat 7/7/7/7", [4]int{7, 7, 7, 7}},
+		{"minimal 1/1/1/1", [4]int{1, 1, 1, 1}},
+		{"steep 1/2/4/9", [4]int{1, 2, 4, 9}},
+	}
+	for _, v := range variants {
+		cfg := core.Config{Heights: v.heights, RelProbCutoff: 0.01, DropSingletons: w.DropSingletons}
+		res, base, err := pbVariant(w, cfg, sim.PBMaxPrefetchBytes)
+		if err != nil {
+			return nil, err
+		}
+		a.Rows = append(a.Rows, AblationRow{
+			Label:            v.label,
+			Result:           res,
+			LatencyReduction: res.LatencyReductionVs(base),
+		})
+	}
+	return a, nil
+}
+
+// RunAblationLinks isolates rule 3: PB-PPM with and without the
+// duplicated popular-node links.
+func RunAblationLinks(w *Workload) (*Ablation, error) {
+	a := &Ablation{Name: "popular-links", Workload: w.Name}
+	variants := []struct {
+		label string
+		cfg   core.Config
+	}{
+		{"with links (rule 3)", core.Config{RelProbCutoff: 0.01, DropSingletons: w.DropSingletons}},
+		{"without links", core.Config{DisableLinks: true, RelProbCutoff: 0.01, DropSingletons: w.DropSingletons}},
+	}
+	for _, v := range variants {
+		res, base, err := pbVariant(w, v.cfg, sim.PBMaxPrefetchBytes)
+		if err != nil {
+			return nil, err
+		}
+		a.Rows = append(a.Rows, AblationRow{
+			Label:            v.label,
+			Result:           res,
+			LatencyReduction: res.LatencyReductionVs(base),
+		})
+	}
+	return a, nil
+}
+
+// RunAblationCachePolicy compares LRU (the paper's §2.2 policy) with
+// popularity-aware GDSF (its reference [16]) for the browser caches
+// under PB-PPM prefetching.
+func RunAblationCachePolicy(w *Workload) (*Ablation, error) {
+	a := &Ablation{Name: "cache-policy", Workload: w.Name}
+	trainDays := w.Days() - 1
+	if trainDays < 1 {
+		return nil, fmt.Errorf("experiments: ablation needs at least 2 days, have %d", w.Days())
+	}
+	train := w.DaySessions(0, trainDays)
+	test := w.DaySessions(trainDays, trainDays+1)
+	rank := Ranking(train)
+	model := core.New(rank, core.Config{RelProbCutoff: 0.01, DropSingletons: w.DropSingletons})
+	sim.Train(model, train)
+
+	for _, v := range []struct {
+		label  string
+		policy sim.CachePolicy
+	}{
+		{"LRU (paper)", sim.PolicyLRU},
+		{"GDSF (popularity-aware)", sim.PolicyGDSF},
+	} {
+		opt := sim.Options{
+			Predictor:        model,
+			MaxPrefetchBytes: sim.PBMaxPrefetchBytes,
+			Path:             w.Path,
+			Grades:           rank,
+			Sizes:            w.Sizes,
+			CachePolicy:      v.policy,
+		}
+		res := sim.Run(test, opt)
+		baseOpt := opt
+		baseOpt.Predictor = nil
+		base := sim.Run(test, baseOpt)
+		a.Rows = append(a.Rows, AblationRow{
+			Label:            v.label,
+			Result:           res,
+			LatencyReduction: res.LatencyReductionVs(base),
+		})
+	}
+	return a, nil
+}
+
+// RunAblationBlending compares the paper's longest-match prediction
+// with the variable-order blended extension (the "high orders or
+// variable orders of Markov models" direction the related work leaves
+// open), on the standard model.
+func RunAblationBlending(w *Workload) (*Ablation, error) {
+	a := &Ablation{Name: "order-blending", Workload: w.Name}
+	trainDays := w.Days() - 1
+	if trainDays < 1 {
+		return nil, fmt.Errorf("experiments: ablation needs at least 2 days, have %d", w.Days())
+	}
+	train := w.DaySessions(0, trainDays)
+	test := w.DaySessions(trainDays, trainDays+1)
+	rank := Ranking(train)
+
+	for _, v := range []struct {
+		label string
+		cfg   ppm.Config
+	}{
+		{"longest match (paper)", ppm.Config{}},
+		{"blended orders", ppm.Config{BlendOrders: true}},
+	} {
+		model := ppm.New(v.cfg)
+		sim.Train(model, train)
+		opt := sim.Options{
+			Predictor:        model,
+			MaxPrefetchBytes: sim.DefaultMaxPrefetchBytes,
+			Path:             w.Path,
+			Grades:           rank,
+			Sizes:            w.Sizes,
+		}
+		res := sim.Run(test, opt)
+		baseOpt := opt
+		baseOpt.Predictor = nil
+		base := sim.Run(test, baseOpt)
+		a.Rows = append(a.Rows, AblationRow{
+			Label:            v.label,
+			Result:           res,
+			LatencyReduction: res.LatencyReductionVs(base),
+		})
+	}
+	return a, nil
+}
+
+// RunAblationOnlineTraining compares the paper's train-then-freeze
+// deployment with a model that also keeps learning from the test day's
+// completed sessions (sim.Options.OnlineTraining).
+func RunAblationOnlineTraining(w *Workload) (*Ablation, error) {
+	a := &Ablation{Name: "online-training", Workload: w.Name}
+	trainDays := w.Days() - 1
+	if trainDays < 1 {
+		return nil, fmt.Errorf("experiments: ablation needs at least 2 days, have %d", w.Days())
+	}
+	train := w.DaySessions(0, trainDays)
+	test := w.DaySessions(trainDays, trainDays+1)
+	rank := Ranking(train)
+
+	for _, v := range []struct {
+		label  string
+		online bool
+	}{
+		{"frozen after training (paper)", false},
+		{"online updates during test day", true},
+	} {
+		model := core.New(rank, core.Config{RelProbCutoff: 0.01, DropSingletons: w.DropSingletons})
+		sim.Train(model, train)
+		opt := sim.Options{
+			Predictor:        model,
+			MaxPrefetchBytes: sim.PBMaxPrefetchBytes,
+			Path:             w.Path,
+			Grades:           rank,
+			Sizes:            w.Sizes,
+			OnlineTraining:   v.online,
+		}
+		res := sim.Run(test, opt)
+		baseOpt := opt
+		baseOpt.Predictor = nil
+		base := sim.Run(test, baseOpt)
+		a.Rows = append(a.Rows, AblationRow{
+			Label:            v.label,
+			Result:           res,
+			LatencyReduction: res.LatencyReductionVs(base),
+		})
+	}
+	return a, nil
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"testing"
+
+	"pbppm/internal/core"
+	"pbppm/internal/sim"
+)
+
+// TestDiagPBTraffic decomposes PB-PPM's traffic overhead: links on/off,
+// size thresholds. Diagnostic only; always passes.
+func TestDiagPBTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	w, err := NASAWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := w.DaySessions(0, 5)
+	test := w.DaySessions(5, 6)
+	rank := Ranking(train)
+	for _, v := range []struct {
+		label string
+		cfg   core.Config
+		size  int64
+	}{
+		{"links+30KB", core.Config{RelProbCutoff: 0.01}, 30 * 1024},
+		{"nolinks+30KB", core.Config{RelProbCutoff: 0.01, DisableLinks: true}, 30 * 1024},
+		{"links+10KB", core.Config{RelProbCutoff: 0.01}, 10 * 1024},
+		{"nolinks+10KB", core.Config{RelProbCutoff: 0.01, DisableLinks: true}, 10 * 1024},
+		{"links+30KB+thr0.4", core.Config{RelProbCutoff: 0.01, Threshold: 0.4}, 30 * 1024},
+		{"links+30KB+rel5%", core.Config{RelProbCutoff: 0.05}, 30 * 1024},
+		{"links+30KB+rel10%", core.Config{RelProbCutoff: 0.10}, 30 * 1024},
+		{"links+30KB+singl", core.Config{RelProbCutoff: 0.01, DropSingletons: true}, 30 * 1024},
+		{"links+30KB+r5+singl", core.Config{RelProbCutoff: 0.05, DropSingletons: true}, 30 * 1024},
+	} {
+		m := core.New(rank, v.cfg)
+		sim.Train(m, train)
+		res := sim.Run(test, sim.Options{
+			Predictor: m, MaxPrefetchBytes: v.size,
+			Path: w.Path, Grades: rank, Sizes: w.Sizes,
+		})
+		t.Logf("%-20s hit=%.3f traffic=%.3f prefetched=%d docs %.1fMB nodes=%d links=%d",
+			v.label, res.HitRatio(), res.TrafficIncrease(),
+			res.PrefetchedDocs, float64(res.PrefetchedBytes)/1e6, m.NodeCount(), m.LinkCount())
+	}
+}

@@ -1,0 +1,18 @@
+package experiments
+
+import "testing"
+
+func TestDiagFigure2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	w, err := NASAWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := RunFigure2(w, SweepConfig{MaxTrainDays: 7, RelProbCutoff: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + f.String())
+}

@@ -1,0 +1,20 @@
+package experiments
+
+import "testing"
+
+// TestDiagFigure5 runs the proxy experiment at paper scale and logs the
+// two panels; guarded by -short.
+func TestDiagFigure5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	w, err := NASAWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := RunFigure5(w, Figure5Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + f.String())
+}

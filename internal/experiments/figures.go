@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"pbppm/internal/metrics"
+)
+
+// Figure2 reports, per training-window size, the share of popular
+// documents among prefetch hits (left figure) and the path-utilization
+// rate of each model's tree (right figure), for 3-PPM, LRS-PPM, and
+// PB-PPM, as in §3.3/§3.4.
+type Figure2 struct {
+	Workload string
+	Rows     []DayResult
+}
+
+// RunFigure2 executes the experiment. The observation runs let every
+// click reach the server (full surfing paths), matching the §3.3 setup
+// where tree usage is studied independently of the piggyback transport.
+func RunFigure2(w *Workload, cfg SweepConfig) (*Figure2, error) {
+	cfg.Include3PPM = true
+	cfg.PredictOnHitToo = true
+	rows, err := Sweep(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure2{Workload: w.Name, Rows: rows}, nil
+}
+
+// Models lists the models Figure 2 compares.
+func (f *Figure2) Models() []string { return []string{Model3PPM, ModelLRS, ModelPB} }
+
+// String renders both panels.
+func (f *Figure2) String() string {
+	left := &metrics.Table{
+		Title:   fmt.Sprintf("Figure 2 (left) — %s: %% popular documents among prefetch hits", f.Workload),
+		Headers: []string{"days", Model3PPM, ModelLRS, ModelPB},
+	}
+	right := &metrics.Table{
+		Title:   fmt.Sprintf("Figure 2 (right) — %s: path utilization rate", f.Workload),
+		Headers: []string{"days", Model3PPM, ModelLRS, ModelPB},
+	}
+	for _, r := range f.Rows {
+		day := strconv.Itoa(r.TrainDays)
+		left.AddRow(day,
+			metrics.Pct(r.Results[Model3PPM].PopularShareOfPrefetchHits()),
+			metrics.Pct(r.Results[ModelLRS].PopularShareOfPrefetchHits()),
+			metrics.Pct(r.Results[ModelPB].PopularShareOfPrefetchHits()))
+		right.AddRow(day,
+			metrics.Pct(r.Results[Model3PPM].Utilization),
+			metrics.Pct(r.Results[ModelLRS].Utilization),
+			metrics.Pct(r.Results[ModelPB].Utilization))
+	}
+	return left.String() + "\n" + right.String()
+}
+
+// Figure3 reports hit ratios and latency reductions versus training
+// days for the standard, LRS, and PB models (§4.2).
+type Figure3 struct {
+	Workload string
+	Rows     []DayResult
+}
+
+// RunFigure3 executes the experiment.
+func RunFigure3(w *Workload, cfg SweepConfig) (*Figure3, error) {
+	rows, err := Sweep(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure3{Workload: w.Name, Rows: rows}, nil
+}
+
+// HitRatio returns a model's hit ratio at a sweep row.
+func (f *Figure3) HitRatio(row int, model string) float64 {
+	return f.Rows[row].Results[model].HitRatio()
+}
+
+// LatencyReduction returns a model's latency reduction versus the
+// no-prefetch baseline at a sweep row.
+func (f *Figure3) LatencyReduction(row int, model string) float64 {
+	r := f.Rows[row]
+	return r.Results[model].LatencyReductionVs(r.Results[ModelNone])
+}
+
+// String renders both panels.
+func (f *Figure3) String() string {
+	hit := &metrics.Table{
+		Title:   fmt.Sprintf("Figure 3 — %s: hit ratio", f.Workload),
+		Headers: []string{"days", ModelPPM, ModelLRS, ModelPB, "no-prefetch"},
+	}
+	lat := &metrics.Table{
+		Title:   fmt.Sprintf("Figure 3 — %s: latency reduction", f.Workload),
+		Headers: []string{"days", ModelPPM, ModelLRS, ModelPB},
+	}
+	for i, r := range f.Rows {
+		day := strconv.Itoa(r.TrainDays)
+		hit.AddRow(day,
+			metrics.Pct(f.HitRatio(i, ModelPPM)),
+			metrics.Pct(f.HitRatio(i, ModelLRS)),
+			metrics.Pct(f.HitRatio(i, ModelPB)),
+			metrics.Pct(f.HitRatio(i, ModelNone)))
+		lat.AddRow(day,
+			metrics.Pct(f.LatencyReduction(i, ModelPPM)),
+			metrics.Pct(f.LatencyReduction(i, ModelLRS)),
+			metrics.Pct(f.LatencyReduction(i, ModelPB)))
+	}
+	return hit.String() + "\n" + lat.String()
+}
+
+// SpaceTable reports the node counts of the three models per training
+// window: Table 1 (NASA) and Table 2 (UCB-CS).
+type SpaceTable struct {
+	Workload string
+	Rows     []DayResult
+}
+
+// RunSpaceTable executes the experiment.
+func RunSpaceTable(w *Workload, cfg SweepConfig) (*SpaceTable, error) {
+	rows, err := Sweep(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SpaceTable{Workload: w.Name, Rows: rows}, nil
+}
+
+// Nodes returns a model's node count at a sweep row.
+func (t *SpaceTable) Nodes(row int, model string) int {
+	return t.Rows[row].Results[model].Nodes
+}
+
+// String renders the table in the paper's layout (days across).
+func (t *SpaceTable) String() string {
+	tb := &metrics.Table{
+		Title:   fmt.Sprintf("Table — %s: space size in number of nodes", t.Workload),
+		Headers: []string{"model"},
+	}
+	for _, r := range t.Rows {
+		tb.Headers = append(tb.Headers, fmt.Sprintf("%dd", r.TrainDays))
+	}
+	for _, model := range []string{ModelPPM, ModelLRS, ModelPB} {
+		row := []string{model}
+		for _, r := range t.Rows {
+			row = append(row, strconv.Itoa(r.Results[model].Nodes))
+		}
+		tb.AddRow(row...)
+	}
+	return tb.String()
+}
+
+// Figure4 reports the space growth of LRS versus PB (left panels) and
+// the traffic increments of the three models (right panels).
+type Figure4 struct {
+	Workload string
+	Rows     []DayResult
+}
+
+// RunFigure4 executes the experiment.
+func RunFigure4(w *Workload, cfg SweepConfig) (*Figure4, error) {
+	rows, err := Sweep(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure4{Workload: w.Name, Rows: rows}, nil
+}
+
+// NodeRatio returns LRS nodes over PB nodes at a sweep row (the
+// paper's headline space-reduction factor).
+func (f *Figure4) NodeRatio(row int) float64 {
+	pb := f.Rows[row].Results[ModelPB].Nodes
+	if pb == 0 {
+		return 0
+	}
+	return float64(f.Rows[row].Results[ModelLRS].Nodes) / float64(pb)
+}
+
+// TrafficIncrease returns a model's traffic increment at a sweep row.
+func (f *Figure4) TrafficIncrease(row int, model string) float64 {
+	return f.Rows[row].Results[model].TrafficIncrease()
+}
+
+// String renders both panels.
+func (f *Figure4) String() string {
+	nodes := &metrics.Table{
+		Title:   fmt.Sprintf("Figure 4 — %s: number of nodes", f.Workload),
+		Headers: []string{"days", ModelLRS, ModelPB, "LRS/PB"},
+	}
+	traffic := &metrics.Table{
+		Title:   fmt.Sprintf("Figure 4 — %s: traffic increase rate", f.Workload),
+		Headers: []string{"days", ModelPPM, ModelLRS, ModelPB},
+	}
+	for i, r := range f.Rows {
+		day := strconv.Itoa(r.TrainDays)
+		nodes.AddRow(day,
+			strconv.Itoa(r.Results[ModelLRS].Nodes),
+			strconv.Itoa(r.Results[ModelPB].Nodes),
+			fmt.Sprintf("%.1fx", f.NodeRatio(i)))
+		traffic.AddRow(day,
+			metrics.Pct(f.TrafficIncrease(i, ModelPPM)),
+			metrics.Pct(f.TrafficIncrease(i, ModelLRS)),
+			metrics.Pct(f.TrafficIncrease(i, ModelPB)))
+	}
+	return nodes.String() + "\n" + traffic.String()
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import "testing"
+
+// TestFullScaleUCBShapes runs the paper-scale UCB-CS-like workload
+// sweep and logs the metric surfaces; guarded by -short.
+func TestFullScaleUCBShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale sweep skipped in -short mode")
+	}
+	w, err := UCBWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("trace: %d records, %d sessions, %d days",
+		len(w.Trace.Records), len(w.Sessions), w.Days())
+	rows, err := Sweep(w, SweepConfig{MaxTrainDays: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		for _, m := range []string{ModelNone, ModelPPM, ModelLRS, ModelPB} {
+			res := r.Results[m]
+			t.Logf("day %d %-8s hit=%.3f traffic=%.3f nodes=%7d util=%.3f latRed=%.3f",
+				r.TrainDays, m, res.HitRatio(), res.TrafficIncrease(), res.Nodes,
+				res.Utilization, res.LatencyReductionVs(r.Results[ModelNone]))
+		}
+	}
+
+	// Paper-scale shape assertions (Table 2, Figure 3/4 UCB panels):
+	// the irregular workload keeps the standard model slightly ahead on
+	// hit ratio (the paper reports PB about 2% below it) while PB's
+	// space advantage is dramatic — the cost-effectiveness claim.
+	last := rows[len(rows)-1]
+	pb, lrs, ppm := last.Results[ModelPB], last.Results[ModelLRS], last.Results[ModelPPM]
+	if gap := ppm.HitRatio() - pb.HitRatio(); gap < 0 || gap > 0.06 {
+		t.Errorf("PPM-PB hit gap = %.3f, want small positive (paper ~0.02)", gap)
+	}
+	if ratio := float64(lrs.Nodes) / float64(pb.Nodes); ratio < 3 {
+		t.Errorf("LRS/PB node ratio = %.2f, want >= 3 (paper: 10x to dozens)", ratio)
+	}
+	if ppm.Nodes < 50*lrs.Nodes {
+		t.Errorf("standard nodes %d not dramatically above LRS %d", ppm.Nodes, lrs.Nodes)
+	}
+	// PB's traffic increment exceeds LRS's on this trace, as the paper
+	// reports (14% vs 9%).
+	if pb.TrafficIncrease() <= lrs.TrafficIncrease() {
+		t.Errorf("PB traffic %.3f not above LRS %.3f (paper's UCB finding)",
+			pb.TrafficIncrease(), lrs.TrafficIncrease())
+	}
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"pbppm/internal/core"
+	"pbppm/internal/maintain"
+	"pbppm/internal/markov"
+	"pbppm/internal/metrics"
+	"pbppm/internal/popularity"
+	"pbppm/internal/sim"
+)
+
+// Maintenance quantifies the paper's assumption that the server model
+// is "dynamically maintained and updated": every evaluation day is
+// replayed twice, once against a static PB-PPM model trained only on
+// day 0 and once against a model rebuilt each morning from a sliding
+// window of all history so far.
+type Maintenance struct {
+	Workload string
+	Days     []int
+	Static   []metrics.Result
+	Daily    []metrics.Result
+}
+
+// RunMaintenance executes the experiment over every day after the
+// first.
+func RunMaintenance(w *Workload) (*Maintenance, error) {
+	if w.Days() < 3 {
+		return nil, fmt.Errorf("experiments: maintenance needs at least 3 days, have %d", w.Days())
+	}
+
+	factory := func(rank *popularity.Ranking) markov.Predictor {
+		return core.New(rank, core.Config{RelProbCutoff: 0.01, DropSingletons: w.DropSingletons})
+	}
+
+	// Static model: trained once on day 0.
+	day0 := w.DaySessions(0, 1)
+	if len(day0) == 0 {
+		return nil, fmt.Errorf("experiments: maintenance: empty first day")
+	}
+	staticModel := factory(Ranking(day0))
+	sim.Train(staticModel, day0)
+	staticRank := Ranking(day0)
+
+	maint, err := maintain.New(maintain.Config{
+		Factory: factory,
+		Window:  time.Duration(w.Days()) * 24 * time.Hour,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range day0 {
+		maint.Observe(s)
+	}
+
+	out := &Maintenance{Workload: w.Name}
+	for d := 1; d < w.Days(); d++ {
+		test := w.DaySessions(d, d+1)
+		if len(test) == 0 {
+			continue
+		}
+		// Morning rebuild over all history before day d.
+		daily := maint.Rebuild(w.Trace.Epoch.Add(time.Duration(d) * 24 * time.Hour))
+		dailyRank := Ranking(w.DaySessions(0, d))
+
+		common := sim.Options{Path: w.Path, Sizes: w.Sizes, MaxPrefetchBytes: sim.PBMaxPrefetchBytes}
+
+		so := common
+		so.Predictor = staticModel
+		so.Grades = staticRank
+		sres := sim.Run(test, so)
+		sres.Model = "static"
+
+		do := common
+		do.Predictor = daily
+		do.Grades = dailyRank
+		dres := sim.Run(test, do)
+		dres.Model = "daily-rebuild"
+
+		out.Days = append(out.Days, d)
+		out.Static = append(out.Static, sres)
+		out.Daily = append(out.Daily, dres)
+
+		// The evaluated day joins the window for the next rebuild.
+		for _, s := range test {
+			maint.Observe(s)
+		}
+	}
+	return out, nil
+}
+
+// String renders the comparison.
+func (m *Maintenance) String() string {
+	tb := &metrics.Table{
+		Title:   fmt.Sprintf("Model maintenance — %s: static day-0 model vs daily rebuilds (PB-PPM)", m.Workload),
+		Headers: []string{"eval day", "static hit", "daily hit", "static nodes", "daily nodes"},
+	}
+	for i, d := range m.Days {
+		tb.AddRow(strconv.Itoa(d),
+			metrics.Pct(m.Static[i].HitRatio()),
+			metrics.Pct(m.Daily[i].HitRatio()),
+			strconv.Itoa(m.Static[i].Nodes),
+			strconv.Itoa(m.Daily[i].Nodes))
+	}
+	return tb.String()
+}

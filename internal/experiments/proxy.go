@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"pbppm/internal/core"
+	"pbppm/internal/lrs"
+	"pbppm/internal/metrics"
+	"pbppm/internal/ppm"
+	"pbppm/internal/session"
+	"pbppm/internal/sim"
+)
+
+// Proxy experiment model labels (§5).
+const (
+	ModelPB4KB  = "PB-PPM-4KB"
+	ModelPB10KB = "PB-PPM-10KB"
+)
+
+// Figure5 reports total hit ratios and traffic increments between a
+// Web server and a proxy as the number of clients behind the proxy
+// grows (§5): standard PPM, LRS-PPM, and PB-PPM with 4 KB and 10 KB
+// prefetch size thresholds.
+type Figure5 struct {
+	Workload     string
+	ClientCounts []int
+	// Results[i] maps model name to its metrics with ClientCounts[i]
+	// clients behind the proxy.
+	Results []map[string]metrics.Result
+}
+
+// Figure5Config controls the proxy experiment.
+type Figure5Config struct {
+	// ClientCounts lists the population sizes; zero selects the paper's
+	// 1..32 progression.
+	ClientCounts []int
+	// TrainDays is the training-window size; zero selects all but the
+	// final day.
+	TrainDays int
+	// RelProbCutoff as in SweepConfig.
+	RelProbCutoff float64
+}
+
+// RunFigure5 executes the experiment. Clients are selected in
+// descending test-day activity order so that every population size is
+// deterministic and non-empty.
+func RunFigure5(w *Workload, cfg Figure5Config) (*Figure5, error) {
+	counts := cfg.ClientCounts
+	if len(counts) == 0 {
+		counts = []int{1, 2, 4, 8, 16, 24, 32}
+	}
+	trainDays := cfg.TrainDays
+	if trainDays == 0 {
+		trainDays = w.Days() - 1
+	}
+	if trainDays < 1 || trainDays >= w.Days() {
+		return nil, fmt.Errorf("experiments: figure 5 needs 1 <= trainDays < days, have %d of %d",
+			trainDays, w.Days())
+	}
+	relProb := cfg.RelProbCutoff
+	if relProb == 0 {
+		relProb = 0.01
+	}
+
+	train := w.DaySessions(0, trainDays)
+	test := w.DaySessions(trainDays, trainDays+1)
+	if len(train) == 0 || len(test) == 0 {
+		return nil, fmt.Errorf("experiments: figure 5: empty train (%d) or test (%d) window",
+			len(train), len(test))
+	}
+	rank := Ranking(train)
+
+	// Rank test-day clients by activity. Only browser-class addresses
+	// qualify: the experiment attaches end-user clients to the proxy,
+	// so addresses the >100-requests/day heuristic classifies as
+	// proxies or robots are excluded.
+	classes := session.ClassifyClients(w.Trace, 0)
+	activity := map[string]int{}
+	for _, s := range test {
+		if classes[s.Client] == session.Proxy {
+			continue
+		}
+		activity[s.Client] += s.Len()
+	}
+	clients := make([]string, 0, len(activity))
+	for c := range activity {
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(i, j int) bool {
+		if activity[clients[i]] != activity[clients[j]] {
+			return activity[clients[i]] > activity[clients[j]]
+		}
+		return clients[i] < clients[j]
+	})
+
+	// Train the four models once; prediction does not mutate counts, so
+	// each model can serve every population size.
+	mPPM := ppm.New(ppm.Config{})
+	mLRS := lrs.New(lrs.Config{})
+	mPB4 := core.New(rank, core.Config{RelProbCutoff: relProb, DropSingletons: w.DropSingletons})
+	mPB10 := core.New(rank, core.Config{RelProbCutoff: relProb, DropSingletons: w.DropSingletons})
+	sim.Train(mPPM, train)
+	sim.Train(mLRS, train)
+	sim.Train(mPB4, train)
+	sim.Train(mPB10, train)
+
+	fig := &Figure5{Workload: w.Name}
+	for _, n := range counts {
+		if n > len(clients) {
+			n = len(clients)
+		}
+		selected := map[string]bool{}
+		for _, c := range clients[:n] {
+			selected[c] = true
+		}
+		var subset []session.Session
+		for _, s := range test {
+			if selected[s.Client] {
+				subset = append(subset, s)
+			}
+		}
+
+		common := sim.Options{
+			Path:     w.Path,
+			Grades:   rank,
+			Sizes:    w.Sizes,
+			UseProxy: true,
+		}
+		row := map[string]metrics.Result{}
+		for _, mc := range []struct {
+			name  string
+			opt   sim.Options
+			bytes int64
+		}{
+			{ModelPPM, common, sim.DefaultMaxPrefetchBytes},
+			{ModelLRS, common, sim.DefaultMaxPrefetchBytes},
+			{ModelPB4KB, common, 4 * 1024},
+			{ModelPB10KB, common, 10 * 1024},
+		} {
+			opt := mc.opt
+			opt.MaxPrefetchBytes = mc.bytes
+			switch mc.name {
+			case ModelPPM:
+				opt.Predictor = mPPM
+			case ModelLRS:
+				opt.Predictor = mLRS
+			case ModelPB4KB:
+				opt.Predictor = mPB4
+			case ModelPB10KB:
+				opt.Predictor = mPB10
+			}
+			res := sim.Run(subset, opt)
+			res.Model = mc.name
+			row[mc.name] = res
+		}
+		base := common
+		base.Predictor = nil
+		row[ModelNone] = sim.Run(subset, base)
+
+		fig.ClientCounts = append(fig.ClientCounts, n)
+		fig.Results = append(fig.Results, row)
+	}
+	return fig, nil
+}
+
+// Models lists the models Figure 5 compares.
+func (f *Figure5) Models() []string {
+	return []string{ModelPPM, ModelLRS, ModelPB4KB, ModelPB10KB}
+}
+
+// String renders both panels.
+func (f *Figure5) String() string {
+	hit := &metrics.Table{
+		Title:   fmt.Sprintf("Figure 5 (left) — %s: proxy hit ratio vs clients", f.Workload),
+		Headers: append([]string{"clients"}, f.Models()...),
+	}
+	traffic := &metrics.Table{
+		Title:   fmt.Sprintf("Figure 5 (right) — %s: traffic increase vs clients", f.Workload),
+		Headers: append([]string{"clients"}, f.Models()...),
+	}
+	for i, n := range f.ClientCounts {
+		hrow := []string{strconv.Itoa(n)}
+		trow := []string{strconv.Itoa(n)}
+		for _, m := range f.Models() {
+			hrow = append(hrow, metrics.Pct(f.Results[i][m].HitRatio()))
+			trow = append(trow, metrics.Pct(f.Results[i][m].TrafficIncrease()))
+		}
+		hit.AddRow(hrow...)
+		traffic.AddRow(trow...)
+	}
+
+	// §5: "the total document hits come from three sources" — break the
+	// largest population's hits down per model.
+	last := len(f.ClientCounts) - 1
+	src := &metrics.Table{
+		Title: fmt.Sprintf("Figure 5 (hit sources at %d clients) — %s",
+			f.ClientCounts[last], f.Workload),
+		Headers: []string{"model", "browser", "proxy cache", "proxy prefetch"},
+	}
+	for _, m := range f.Models() {
+		r := f.Results[last][m]
+		src.AddRow(m,
+			strconv.FormatInt(r.BrowserHits, 10),
+			strconv.FormatInt(r.ProxyCacheHits, 10),
+			strconv.FormatInt(r.ProxyPrefetchHits, 10))
+	}
+	return hit.String() + "\n" + traffic.String() + "\n" + src.String()
+}

@@ -1,0 +1,148 @@
+// Package latency models per-request access latency the way the paper
+// does (§4.2, after Jin & Bestavros): the connection time and the data
+// transfer time are obtained by applying a least-squares fit to
+// measured latencies versus document sizes, giving
+//
+//	latency(size) = Connect + TransferRate * size.
+//
+// The simulator uses one fitted model per network hop (client↔server,
+// client↔proxy, proxy↔server) to convert hits and misses into latency
+// reductions.
+package latency
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Model is a fitted linear latency model.
+type Model struct {
+	// Connect is the size-independent component (connection setup).
+	Connect time.Duration
+	// TransferRate is the per-byte transfer component.
+	TransferRate time.Duration
+}
+
+// Estimate returns the modeled latency for fetching size bytes.
+// Negative results of an ill-conditioned fit are clamped to zero.
+func (m Model) Estimate(size int64) time.Duration {
+	d := m.Connect + time.Duration(size)*m.TransferRate
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Sample is one measured (document size, access latency) observation.
+type Sample struct {
+	Size    int64
+	Latency time.Duration
+}
+
+// Fit computes the least-squares line latency = a + b*size over the
+// samples, exactly as the paper's methodology prescribes. It needs at
+// least two samples with distinct sizes; otherwise it returns an error.
+// A fitted negative slope or intercept is clamped to zero — latencies
+// cannot shrink with size in the modeled regime.
+func Fit(samples []Sample) (Model, error) {
+	if len(samples) < 2 {
+		return Model{}, fmt.Errorf("latency: need at least 2 samples, have %d", len(samples))
+	}
+	var n, sumX, sumY, sumXX, sumXY float64
+	for _, s := range samples {
+		x := float64(s.Size)
+		y := float64(s.Latency)
+		n++
+		sumX += x
+		sumY += y
+		sumXX += x * x
+		sumXY += x * y
+	}
+	den := n*sumXX - sumX*sumX
+	if den == 0 {
+		return Model{}, fmt.Errorf("latency: all %d samples share one size; slope undefined", len(samples))
+	}
+	slope := (n*sumXY - sumX*sumY) / den
+	intercept := (sumY - slope*sumX) / n
+	if slope < 0 {
+		slope = 0
+	}
+	if intercept < 0 {
+		intercept = 0
+	}
+	return Model{
+		Connect:      time.Duration(intercept),
+		TransferRate: time.Duration(slope),
+	}, nil
+}
+
+// R2 returns the coefficient of determination of the model over the
+// samples (1 = perfect fit). It returns 0 for degenerate inputs.
+func (m Model) R2(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, s := range samples {
+		mean += float64(s.Latency)
+	}
+	mean /= float64(len(samples))
+	var ssTot, ssRes float64
+	for _, s := range samples {
+		y := float64(s.Latency)
+		pred := float64(m.Estimate(s.Size))
+		ssRes += (y - pred) * (y - pred)
+		ssTot += (y - mean) * (y - mean)
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	r2 := 1 - ssRes/ssTot
+	if math.IsNaN(r2) || math.IsInf(r2, 0) {
+		return 0
+	}
+	return r2
+}
+
+// Path bundles the latency models of the simulated topology. Browser
+// cache hits are local and cost nothing; the remaining hops are fitted
+// models.
+type Path struct {
+	// ClientServer is the latency of a direct client↔server fetch.
+	ClientServer Model
+	// ClientProxy is the latency of a client↔proxy fetch (proxy hit).
+	ClientProxy Model
+	// ProxyServer is the proxy↔server leg paid on a proxy miss on top
+	// of ClientProxy.
+	ProxyServer Model
+}
+
+// DefaultPath returns latency models representative of the paper's
+// mid-1990s measurement regime: a wide-area server link (~several
+// hundred ms connect, tens of KB/s), and a near proxy (an order of
+// magnitude faster on both components).
+func DefaultPath() Path {
+	return Path{
+		ClientServer: Model{Connect: 300 * time.Millisecond, TransferRate: 30 * time.Microsecond}, // ≈33 KB/s
+		ClientProxy:  Model{Connect: 30 * time.Millisecond, TransferRate: 3 * time.Microsecond},   // ≈330 KB/s
+		ProxyServer:  Model{Connect: 250 * time.Millisecond, TransferRate: 25 * time.Microsecond}, // ≈40 KB/s
+	}
+}
+
+// DirectFetch returns the modeled latency of fetching size bytes from
+// the server without a proxy.
+func (p Path) DirectFetch(size int64) time.Duration {
+	return p.ClientServer.Estimate(size)
+}
+
+// ProxyHit returns the latency of a fetch served from the proxy cache.
+func (p Path) ProxyHit(size int64) time.Duration {
+	return p.ClientProxy.Estimate(size)
+}
+
+// ProxyMiss returns the latency of a fetch that misses the proxy and is
+// relayed to the server: both legs are paid.
+func (p Path) ProxyMiss(size int64) time.Duration {
+	return p.ClientProxy.Estimate(size) + p.ProxyServer.Estimate(size)
+}

@@ -1,0 +1,186 @@
+package latency
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestFitRecoversExactLine(t *testing.T) {
+	truth := Model{Connect: 200 * time.Millisecond, TransferRate: 10 * time.Microsecond}
+	var samples []Sample
+	for _, size := range []int64{100, 1000, 5000, 20000, 100000} {
+		samples = append(samples, Sample{Size: size, Latency: truth.Estimate(size)})
+	}
+	m, err := Fit(samples)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if diff := m.Connect - truth.Connect; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Errorf("Connect = %v, want %v", m.Connect, truth.Connect)
+	}
+	if diff := m.TransferRate - truth.TransferRate; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Errorf("TransferRate = %v, want %v", m.TransferRate, truth.TransferRate)
+	}
+	if r2 := m.R2(samples); r2 < 0.999 {
+		t.Errorf("R2 = %v on noiseless data", r2)
+	}
+}
+
+func TestFitWithNoise(t *testing.T) {
+	truth := Model{Connect: 300 * time.Millisecond, TransferRate: 30 * time.Microsecond}
+	rng := rand.New(rand.NewSource(9))
+	var samples []Sample
+	for i := 0; i < 500; i++ {
+		size := int64(rng.Intn(100_000) + 200)
+		noise := time.Duration(rng.NormFloat64() * float64(20*time.Millisecond))
+		samples = append(samples, Sample{Size: size, Latency: truth.Estimate(size) + noise})
+	}
+	m, err := Fit(samples)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if m.Connect < 250*time.Millisecond || m.Connect > 350*time.Millisecond {
+		t.Errorf("Connect = %v, want ≈300ms", m.Connect)
+	}
+	if m.TransferRate < 28*time.Microsecond || m.TransferRate > 32*time.Microsecond {
+		t.Errorf("TransferRate = %v, want ≈30µs/B", m.TransferRate)
+	}
+	if r2 := m.R2(samples); r2 < 0.9 {
+		t.Errorf("R2 = %v, want > 0.9", r2)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil); err == nil {
+		t.Error("Fit(nil) succeeded")
+	}
+	if _, err := Fit([]Sample{{Size: 10, Latency: time.Second}}); err == nil {
+		t.Error("Fit(1 sample) succeeded")
+	}
+	same := []Sample{
+		{Size: 10, Latency: time.Second},
+		{Size: 10, Latency: 2 * time.Second},
+	}
+	if _, err := Fit(same); err == nil {
+		t.Error("Fit(identical sizes) succeeded")
+	}
+}
+
+func TestFitClampsNegativeComponents(t *testing.T) {
+	// Decreasing latency with size would fit a negative slope; clamp.
+	samples := []Sample{
+		{Size: 100, Latency: 2 * time.Second},
+		{Size: 10000, Latency: time.Second},
+	}
+	m, err := Fit(samples)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if m.TransferRate < 0 {
+		t.Errorf("TransferRate = %v, want clamped >= 0", m.TransferRate)
+	}
+}
+
+func TestEstimateClampsNegative(t *testing.T) {
+	m := Model{Connect: 0, TransferRate: 0}
+	if got := m.Estimate(1000); got != 0 {
+		t.Errorf("zero model Estimate = %v", got)
+	}
+}
+
+func TestEstimateMonotoneInSize(t *testing.T) {
+	m := DefaultPath().ClientServer
+	prev := time.Duration(-1)
+	for size := int64(0); size <= 1<<20; size += 1 << 16 {
+		got := m.Estimate(size)
+		if got < prev {
+			t.Fatalf("Estimate not monotone at size %d", size)
+		}
+		prev = got
+	}
+}
+
+func TestPathOrdering(t *testing.T) {
+	p := DefaultPath()
+	for _, size := range []int64{0, 1024, 100 * 1024} {
+		hit := p.ProxyHit(size)
+		miss := p.ProxyMiss(size)
+		direct := p.DirectFetch(size)
+		if hit >= miss {
+			t.Errorf("size %d: proxy hit %v not cheaper than miss %v", size, hit, miss)
+		}
+		if hit >= direct {
+			t.Errorf("size %d: proxy hit %v not cheaper than direct %v", size, hit, direct)
+		}
+	}
+}
+
+func TestR2Degenerate(t *testing.T) {
+	m := Model{Connect: time.Second}
+	if got := m.R2(nil); got != 0 {
+		t.Errorf("R2(nil) = %v", got)
+	}
+	same := []Sample{{Size: 1, Latency: time.Second}, {Size: 2, Latency: time.Second}}
+	if got := m.R2(same); got != 0 {
+		t.Errorf("R2(constant latencies) = %v", got)
+	}
+}
+
+func TestSyntheticSamples(t *testing.T) {
+	truth := Model{Connect: 100 * time.Millisecond, TransferRate: 5 * time.Microsecond}
+	sizes := map[string]int64{}
+	for i := 0; i < 200; i++ {
+		sizes[string(rune('a'+i%26))+string(rune('0'+i/26))] = int64(500 + i*311)
+	}
+	a := SyntheticSamples(truth, sizes, 7)
+	b := SyntheticSamples(truth, sizes, 7)
+	if len(a) != len(sizes) {
+		t.Fatalf("samples = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("SyntheticSamples not deterministic in seed")
+		}
+	}
+	c := SyntheticSamples(truth, sizes, 8)
+	diff := false
+	for i := range a {
+		if a[i] != c[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds gave identical noise")
+	}
+	// The fit over noisy samples recovers the truth.
+	m, err := Fit(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Connect < truth.Connect/2 || m.Connect > truth.Connect*2 {
+		t.Errorf("fitted connect %v far from %v", m.Connect, truth.Connect)
+	}
+	// Latencies are never negative despite the noise floor clamp.
+	for _, s := range a {
+		if s.Latency < 0 {
+			t.Fatal("negative synthetic latency")
+		}
+	}
+	if got := SyntheticSamples(truth, nil, 1); len(got) != 0 {
+		t.Errorf("empty sizes gave %d samples", len(got))
+	}
+}
+
+func TestDefaultPathValues(t *testing.T) {
+	p := DefaultPath()
+	if p.ClientServer.Connect <= 0 || p.ClientProxy.Connect <= 0 || p.ProxyServer.Connect <= 0 {
+		t.Error("default path has zero components")
+	}
+	// Direct fetch ≈ proxy miss within a factor; both dominated by the
+	// server leg.
+	if p.ProxyMiss(10_000) < p.DirectFetch(10_000)/2 {
+		t.Error("proxy miss implausibly cheap")
+	}
+}

@@ -1,0 +1,37 @@
+package latency
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// SyntheticSamples produces "measured" (size, latency) observations for
+// the documents in sizes: ground-truth latencies from truth plus
+// multiplicative noise, one sample per document. The paper fits its
+// model to latencies measured in traces; our synthetic substrate plays
+// the measurement role, and Fit recovers the line just as the paper's
+// methodology does. Results are deterministic in seed and independent
+// of map iteration order.
+func SyntheticSamples(truth Model, sizes map[string]int64, seed int64) []Sample {
+	urls := make([]string, 0, len(sizes))
+	for u := range sizes {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	rng := rand.New(rand.NewSource(seed))
+	samples := make([]Sample, 0, len(urls))
+	for _, u := range urls {
+		size := sizes[u]
+		base := truth.Estimate(size)
+		noise := 1 + 0.15*rng.NormFloat64()
+		if noise < 0.3 {
+			noise = 0.3
+		}
+		samples = append(samples, Sample{
+			Size:    size,
+			Latency: time.Duration(float64(base) * noise),
+		})
+	}
+	return samples
+}

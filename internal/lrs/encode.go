@@ -1,0 +1,48 @@
+package lrs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"pbppm/internal/markov"
+)
+
+// wireModel is the gob image of an LRS model. The full suffix trie is
+// persisted (not just the pruned view) so later training can still
+// promote sequences across the repeat threshold.
+type wireModel struct {
+	Cfg  Config
+	Full []byte
+}
+
+// Encode persists the trained model.
+func (m *Model) Encode(w io.Writer) error {
+	var buf bytes.Buffer
+	if err := m.full.Encode(&buf); err != nil {
+		return fmt.Errorf("lrs: encoding suffix trie: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	if err := gob.NewEncoder(bw).Encode(wireModel{Cfg: m.cfg, Full: buf.Bytes()}); err != nil {
+		return fmt.Errorf("lrs: encoding model: %w", err)
+	}
+	return bw.Flush()
+}
+
+// DecodeModel reads a model written by Encode.
+func DecodeModel(r io.Reader) (*Model, error) {
+	var img wireModel
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&img); err != nil {
+		return nil, fmt.Errorf("lrs: decoding model: %w", err)
+	}
+	full, err := markov.DecodeTree(bytes.NewReader(img.Full))
+	if err != nil {
+		return nil, fmt.Errorf("lrs: decoding suffix trie: %w", err)
+	}
+	m := New(img.Cfg)
+	m.full = full
+	m.dirty = true
+	return m, nil
+}

@@ -1,0 +1,42 @@
+package lrs
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestModelEncodeDecode(t *testing.T) {
+	m := New(Config{})
+	for i := 0; i < 3; i++ {
+		m.TrainSequence([]string{"a", "b", "c"})
+	}
+	m.TrainSequence([]string{"x", "once"})
+
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := DecodeModel(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.NodeCount() != m.NodeCount() {
+		t.Errorf("NodeCount = %d, want %d", got.NodeCount(), m.NodeCount())
+	}
+	if !reflect.DeepEqual(got.Predict([]string{"a", "b"}), m.Predict([]string{"a", "b"})) {
+		t.Error("predictions differ after round trip")
+	}
+	// The full trie survives: a second occurrence of the singleton
+	// promotes it into the pruned tree after decode.
+	got.TrainSequence([]string{"x", "once"})
+	if got.Tree().Match([]string{"x", "once"}) == nil {
+		t.Error("decoded model lost the full suffix trie")
+	}
+}
+
+func TestDecodeModelError(t *testing.T) {
+	if _, err := DecodeModel(bytes.NewReader([]byte("?"))); err == nil {
+		t.Error("junk accepted")
+	}
+}

@@ -1,0 +1,168 @@
+// Package lrs implements the Longest-Repeating-Subsequences PPM model
+// of Pitkow & Pirolli (USENIX '99), the space-optimized baseline in
+// §3.2 of the paper: only URL sequences accessed at least twice are
+// kept in the prediction tree.
+//
+// Construction follows the paper's description — "each branch in the
+// model is further cut and paste into multiple sub-branches starting
+// from different URLs", i.e. every suffix of each repeating pattern
+// appears as its own branch. We obtain exactly that tree by building
+// the full suffix trie of the training sessions and pruning every node
+// whose occurrence count is below the repeat threshold: a suffix of a
+// repeating subsequence is itself repeating, so all sub-branches
+// survive with their true occurrence counts.
+package lrs
+
+import (
+	"pbppm/internal/markov"
+	"pbppm/internal/ppm"
+)
+
+// Config parameterizes the LRS model.
+type Config struct {
+	// RepeatThreshold is the minimum occurrence count for a sequence to
+	// be considered "frequently repeating"; zero selects the paper's 2.
+	RepeatThreshold int64
+	// Threshold is the minimum conditional probability for a prefetch
+	// candidate; zero selects the paper's 0.25.
+	Threshold float64
+	// MaxHeight optionally caps branch heights; <= 0 (the paper's
+	// setting) leaves them unbounded so the longest repeating
+	// subsequences are kept whole.
+	MaxHeight int
+}
+
+func (c Config) repeat() int64 {
+	if c.RepeatThreshold <= 0 {
+		return 2
+	}
+	return c.RepeatThreshold
+}
+
+func (c Config) threshold() float64 {
+	if c.Threshold == 0 {
+		return ppm.DefaultThreshold
+	}
+	return c.Threshold
+}
+
+// Model is an LRS-PPM predictor.
+type Model struct {
+	cfg Config
+	// full is the complete suffix trie including count-1 nodes; it is
+	// retained so that later training can promote sequences across the
+	// repeat threshold.
+	full *markov.Tree
+	// pruned is the repeating-only prediction tree, rebuilt lazily
+	// after training.
+	pruned *markov.Tree
+	dirty  bool
+}
+
+var _ markov.Predictor = (*Model)(nil)
+var _ markov.UtilizationReporter = (*Model)(nil)
+
+// New returns an empty LRS model.
+func New(cfg Config) *Model {
+	return &Model{cfg: cfg, full: markov.NewTree(), pruned: markov.NewTree()}
+}
+
+// Name identifies the model.
+func (m *Model) Name() string { return "LRS-PPM" }
+
+// TrainSequence inserts every suffix of seq into the underlying suffix
+// trie. The prediction tree is rebuilt lazily on the next Predict or
+// NodeCount call.
+func (m *Model) TrainSequence(seq []string) {
+	for i := range seq {
+		m.full.Insert(seq[i:], m.cfg.MaxHeight, 1)
+	}
+	m.dirty = true
+}
+
+// rebuild materializes the repeating-only prediction tree.
+func (m *Model) rebuild() {
+	if !m.dirty {
+		return
+	}
+	m.dirty = false
+	min := m.cfg.repeat()
+	out := markov.NewTree()
+	out.Root.Count = m.full.Root.Count
+	var copyKept func(src, dst *markov.Node)
+	copyKept = func(src, dst *markov.Node) {
+		for url, c := range src.Children {
+			if c.Count < min {
+				continue
+			}
+			nc := dst.EnsureChild(url)
+			nc.Count = c.Count
+			copyKept(c, nc)
+		}
+	}
+	copyKept(m.full.Root, out.Root)
+	m.pruned = out
+}
+
+// Predict finds the deepest repeating-sequence node matching the
+// longest suffix of the context — the paper's "longest matching method"
+// — and returns its children above the probability threshold.
+func (m *Model) Predict(context []string) []markov.Prediction {
+	m.rebuild()
+	n, order := m.pruned.LongestMatch(context)
+	if n == nil {
+		return nil
+	}
+	m.pruned.MarkPath(context[len(context)-order:])
+	return markov.PredictAt(n, m.cfg.threshold(), order)
+}
+
+// NodeCount reports the storage requirement of the repeating-only tree,
+// the paper's space metric for LRS. The retained full trie is a
+// training-time artifact and is not part of the served model.
+func (m *Model) NodeCount() int {
+	m.rebuild()
+	return m.pruned.NodeCount()
+}
+
+// Utilization reports the fraction of stored root-to-leaf paths used by
+// predictions since the last ResetUsage.
+func (m *Model) Utilization() float64 {
+	m.rebuild()
+	return m.pruned.Utilization()
+}
+
+// ResetUsage clears utilization marks.
+func (m *Model) ResetUsage() {
+	m.rebuild()
+	m.pruned.ResetUsage()
+}
+
+// Patterns returns the longest repeating subsequences currently stored:
+// every root-to-leaf path of the repeating-only tree, with the leaf's
+// occurrence count. Paths are emitted in deterministic (sorted) order.
+// This is primarily a diagnostic and test hook.
+func (m *Model) Patterns() []Pattern {
+	m.rebuild()
+	var out []Pattern
+	m.pruned.Walk(func(path []string, n *markov.Node) {
+		if n.IsLeaf() {
+			p := make([]string, len(path))
+			copy(p, path)
+			out = append(out, Pattern{URLs: p, Count: n.Count})
+		}
+	})
+	return out
+}
+
+// Pattern is one repeating subsequence kept by the model.
+type Pattern struct {
+	URLs  []string
+	Count int64
+}
+
+// Tree exposes the repeating-only prediction tree for diagnostics.
+func (m *Model) Tree() *markov.Tree {
+	m.rebuild()
+	return m.pruned
+}

@@ -1,0 +1,162 @@
+// Package maintain implements the periodic model-maintenance loop the
+// paper assumes ("the models are dynamically maintained and updated
+// based on historical data during a period of time"): a sliding window
+// of recent access sessions, an online popularity ranking over that
+// window, and scheduled rebuilds that produce a fresh predictor from
+// the window's contents.
+//
+// The Maintainer is safe for concurrent use: request-serving goroutines
+// call Observe and Predictor while a rebuild runs.
+package maintain
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pbppm/internal/markov"
+	"pbppm/internal/popularity"
+	"pbppm/internal/session"
+)
+
+// Factory builds a fresh predictor from the window's popularity
+// ranking; the maintainer then trains it on the window's sessions.
+// For PB-PPM:
+//
+//	func(rank *popularity.Ranking) markov.Predictor {
+//	    return core.New(rank, core.Config{RelProbCutoff: 0.01})
+//	}
+type Factory func(rank *popularity.Ranking) markov.Predictor
+
+// Config parameterizes a Maintainer.
+type Config struct {
+	// Window is how much history rebuilds train on; zero selects the
+	// paper's common 7-day window.
+	Window time.Duration
+	// Factory builds the model at each rebuild; required.
+	Factory Factory
+}
+
+func (c Config) window() time.Duration {
+	if c.Window <= 0 {
+		return 7 * 24 * time.Hour
+	}
+	return c.Window
+}
+
+// Maintainer keeps the sliding session window and the current model.
+type Maintainer struct {
+	cfg Config
+
+	mu       sync.RWMutex
+	sessions []session.Session // ordered by start time
+	current  markov.Predictor
+	rebuilds int
+}
+
+// New returns an empty maintainer. It returns an error on a nil
+// factory.
+func New(cfg Config) (*Maintainer, error) {
+	if cfg.Factory == nil {
+		return nil, fmt.Errorf("maintain: nil model factory")
+	}
+	return &Maintainer{cfg: cfg}, nil
+}
+
+// Observe appends a completed session to the window. Sessions are
+// expected in roughly chronological order (the trimming scan assumes
+// it); exact ordering is not required.
+func (m *Maintainer) Observe(s session.Session) {
+	if s.Len() == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.sessions = append(m.sessions, s)
+	m.mu.Unlock()
+}
+
+// WindowSize reports how many sessions the window currently holds.
+func (m *Maintainer) WindowSize() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.sessions)
+}
+
+// Rebuilds reports how many rebuilds have completed.
+func (m *Maintainer) Rebuilds() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.rebuilds
+}
+
+// Predictor returns the current model, or nil before the first
+// rebuild. The returned model is shared: predictions are safe, further
+// training is the maintainer's job alone.
+func (m *Maintainer) Predictor() markov.Predictor {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.current
+}
+
+// Rebuild trims the window to cfg.Window ending at now, builds the
+// ranking, constructs a fresh model through the factory, trains it on
+// the window, runs its space optimization, and installs it. It returns
+// the installed predictor.
+//
+// The expensive training runs outside the write lock: Observe and
+// Predictor stay responsive during a rebuild.
+func (m *Maintainer) Rebuild(now time.Time) markov.Predictor {
+	cutoff := now.Add(-m.cfg.window())
+
+	// Snapshot and trim under the lock.
+	m.mu.Lock()
+	keepFrom := 0
+	for keepFrom < len(m.sessions) && m.sessions[keepFrom].Start().Before(cutoff) {
+		keepFrom++
+	}
+	if keepFrom > 0 {
+		m.sessions = append([]session.Session(nil), m.sessions[keepFrom:]...)
+	}
+	window := make([]session.Session, len(m.sessions))
+	copy(window, m.sessions)
+	m.mu.Unlock()
+
+	rank := popularity.NewRanking()
+	for _, s := range window {
+		for _, v := range s.Views {
+			rank.Observe(v.URL, 1)
+		}
+	}
+	model := m.cfg.Factory(rank)
+	for _, s := range window {
+		model.TrainSequence(s.URLs())
+	}
+	if opt, ok := model.(interface{ Optimize() int }); ok {
+		opt.Optimize()
+	}
+
+	m.mu.Lock()
+	m.current = model
+	m.rebuilds++
+	m.mu.Unlock()
+	return model
+}
+
+// Run rebuilds every interval until stop is closed; intended as
+//
+//	stop := make(chan struct{})
+//	go maint.Run(interval, stop)
+//
+// The first rebuild happens after the first interval elapses.
+func (m *Maintainer) Run(interval time.Duration, stop <-chan struct{}) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-ticker.C:
+			m.Rebuild(now)
+		}
+	}
+}

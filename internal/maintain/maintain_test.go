@@ -1,0 +1,160 @@
+package maintain
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pbppm/internal/core"
+	"pbppm/internal/markov"
+	"pbppm/internal/popularity"
+	"pbppm/internal/session"
+)
+
+var epoch = time.Date(1995, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func mkSession(startHour int, urls ...string) session.Session {
+	s := session.Session{Client: "c"}
+	for i, u := range urls {
+		s.Views = append(s.Views, session.PageView{
+			URL:  u,
+			Time: epoch.Add(time.Duration(startHour)*time.Hour + time.Duration(i)*time.Minute),
+		})
+	}
+	return s
+}
+
+func pbFactory(rank *popularity.Ranking) markov.Predictor {
+	return core.New(rank, core.Config{RelProbCutoff: 0.01})
+}
+
+func TestNewRequiresFactory(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil factory accepted")
+	}
+}
+
+func TestRebuildTrainsOnWindow(t *testing.T) {
+	m, err := New(Config{Factory: pbFactory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Predictor() != nil {
+		t.Error("predictor before first rebuild")
+	}
+	for i := 0; i < 5; i++ {
+		m.Observe(mkSession(i, "/home", "/news"))
+	}
+	m.Observe(session.Session{}) // empty: ignored
+	if m.WindowSize() != 5 {
+		t.Fatalf("window = %d", m.WindowSize())
+	}
+
+	model := m.Rebuild(epoch.Add(12 * time.Hour))
+	if model == nil || m.Predictor() != model {
+		t.Fatal("rebuild did not install the model")
+	}
+	ps := model.Predict([]string{"/home"})
+	if len(ps) == 0 || ps[0].URL != "/news" {
+		t.Errorf("rebuilt model Predict = %+v", ps)
+	}
+	if m.Rebuilds() != 1 {
+		t.Errorf("Rebuilds = %d", m.Rebuilds())
+	}
+}
+
+func TestWindowTrimming(t *testing.T) {
+	m, err := New(Config{Factory: pbFactory, Window: 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Observe(mkSession(0, "/old", "/older"))
+	m.Observe(mkSession(30, "/fresh", "/new"))
+	model := m.Rebuild(epoch.Add(40 * time.Hour)) // cutoff at hour 16
+
+	if m.WindowSize() != 1 {
+		t.Errorf("window after trim = %d", m.WindowSize())
+	}
+	if got := model.Predict([]string{"/old"}); len(got) != 0 {
+		t.Errorf("expired session still predicted: %+v", got)
+	}
+	if got := model.Predict([]string{"/fresh"}); len(got) == 0 {
+		t.Error("fresh session not learned")
+	}
+}
+
+func TestPopularityTracksWindow(t *testing.T) {
+	m, err := New(Config{Factory: func(rank *popularity.Ranking) markov.Predictor {
+		// Capture the ranking the factory received via closure check.
+		if rank.Count("/hot") == 0 {
+			panic("factory saw empty ranking")
+		}
+		return pbFactory(rank)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		m.Observe(mkSession(i, "/hot"))
+	}
+	m.Rebuild(epoch.Add(6 * time.Hour))
+}
+
+func TestConcurrentObserveAndRebuild(t *testing.T) {
+	m, err := New(Config{Factory: pbFactory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				m.Observe(mkSession(g*200+i, "/home", "/news"))
+				if i%50 == 0 {
+					m.Predictor() // concurrent read
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			m.Rebuild(epoch.Add(1000 * time.Hour))
+		}
+	}()
+	wg.Wait()
+	if m.Rebuilds() != 10 {
+		t.Errorf("Rebuilds = %d", m.Rebuilds())
+	}
+	if m.Predictor() == nil {
+		t.Error("no model installed")
+	}
+}
+
+func TestRunLoop(t *testing.T) {
+	m, err := New(Config{Factory: pbFactory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Observe(mkSession(0, "/a", "/b"))
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		m.Run(5*time.Millisecond, stop)
+		close(done)
+	}()
+	deadline := time.After(2 * time.Second)
+	for m.Rebuilds() < 2 {
+		select {
+		case <-deadline:
+			t.Fatal("Run performed no rebuilds")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(stop)
+	<-done
+}

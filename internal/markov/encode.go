@@ -1,0 +1,61 @@
+package markov
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// wireNode mirrors Node for gob encoding; the unexported usage mark is
+// deliberately not persisted (it is prediction-phase scratch state).
+type wireNode struct {
+	URL      string
+	Count    int64
+	Children map[string]*wireNode
+}
+
+func toWire(n *Node) *wireNode {
+	w := &wireNode{URL: n.URL, Count: n.Count}
+	if len(n.Children) > 0 {
+		w.Children = make(map[string]*wireNode, len(n.Children))
+		for u, c := range n.Children {
+			w.Children[u] = toWire(c)
+		}
+	}
+	return w
+}
+
+func fromWire(w *wireNode) *Node {
+	n := &Node{URL: w.URL, Count: w.Count}
+	if len(w.Children) > 0 {
+		n.Children = make(map[string]*Node, len(w.Children))
+		for u, c := range w.Children {
+			n.Children[u] = fromWire(c)
+		}
+	}
+	return n
+}
+
+// Encode serializes the tree to w. Prediction trees for busy servers are
+// long-lived; persisting them lets a server restart without retraining.
+func (t *Tree) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := gob.NewEncoder(bw).Encode(toWire(t.Root)); err != nil {
+		return fmt.Errorf("markov: encoding tree: %w", err)
+	}
+	return bw.Flush()
+}
+
+// DecodeTree reads a tree previously written by Encode.
+func DecodeTree(r io.Reader) (*Tree, error) {
+	var w wireNode
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("markov: decoding tree: %w", err)
+	}
+	root := fromWire(&w)
+	if root.Children == nil {
+		root.Children = make(map[string]*Node)
+	}
+	return &Tree{Root: root}, nil
+}

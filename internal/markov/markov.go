@@ -1,0 +1,351 @@
+// Package markov provides the Markov prediction-tree substrate shared by
+// the three PPM prefetching models in the paper (standard PPM, LRS-PPM,
+// and popularity-based PPM): counted trie nodes, longest-suffix context
+// matching, threshold-based prediction, pruning, usage marking for the
+// path-utilization metric, and the Predictor interface the simulator
+// drives.
+package markov
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is one URL occurrence context in a prediction tree. Count is the
+// number of training accesses that reached this node along its path.
+type Node struct {
+	URL      string
+	Count    int64
+	Children map[string]*Node
+
+	// used records that a prediction-phase lookup reached this node or
+	// predicted it; the path-utilization metric (Figure 2, right) counts
+	// leaves with used set.
+	used bool
+}
+
+// Child returns the child for url, or nil.
+func (n *Node) Child(url string) *Node {
+	return n.Children[url]
+}
+
+// EnsureChild returns the child for url, creating it with zero count if
+// absent.
+func (n *Node) EnsureChild(url string) *Node {
+	if c := n.Children[url]; c != nil {
+		return c
+	}
+	if n.Children == nil {
+		n.Children = make(map[string]*Node)
+	}
+	c := &Node{URL: url}
+	n.Children[url] = c
+	return c
+}
+
+// MarkUsed flags the node as touched by a prediction.
+func (n *Node) MarkUsed() { n.used = true }
+
+// Used reports whether the node has been touched by a prediction.
+func (n *Node) Used() bool { return n.used }
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Prediction is one prefetch candidate.
+type Prediction struct {
+	// URL is the predicted next document.
+	URL string
+	// Probability is the model's estimate that URL is accessed next,
+	// conditioned on the matched context.
+	Probability float64
+	// Order is the length of the context that produced the prediction
+	// (1 = only the current URL matched).
+	Order int
+}
+
+// Predictor is the interface the trace-driven simulator drives. All
+// three models implement it.
+type Predictor interface {
+	// Name identifies the model in reports ("PPM", "LRS-PPM", "PB-PPM").
+	Name() string
+	// TrainSequence folds one session's URL sequence into the model.
+	TrainSequence(seq []string)
+	// Predict returns prefetch candidates given the session context so
+	// far (oldest first; the last element is the current click).
+	Predict(context []string) []Prediction
+	// NodeCount reports the model's storage requirement in URL nodes,
+	// the paper's space metric.
+	NodeCount() int
+}
+
+// TrainAll folds a batch of sequences into a predictor.
+func TrainAll(p Predictor, seqs [][]string) {
+	for _, s := range seqs {
+		p.TrainSequence(s)
+	}
+}
+
+// UtilizationReporter is implemented by models that can report the
+// fraction of stored root-to-leaf paths actually used by predictions.
+type UtilizationReporter interface {
+	Utilization() float64
+	ResetUsage()
+}
+
+// Tree is a counted prediction trie under a pseudo-root. The pseudo-root
+// itself carries the number of branch insertions and is excluded from
+// node counts.
+type Tree struct {
+	Root *Node
+}
+
+// NewTree returns an empty tree.
+func NewTree() *Tree {
+	return &Tree{Root: &Node{Children: make(map[string]*Node)}}
+}
+
+// Insert adds seq as a branch from the pseudo-root, incrementing counts
+// by weight along the path. maxDepth > 0 truncates the branch to that
+// many nodes; maxDepth <= 0 means unbounded. weight must be positive.
+func (t *Tree) Insert(seq []string, maxDepth int, weight int64) {
+	if weight <= 0 {
+		panic(fmt.Sprintf("markov: non-positive insert weight %d", weight))
+	}
+	if len(seq) == 0 {
+		return
+	}
+	t.Root.Count += weight
+	n := t.Root
+	for i, u := range seq {
+		if maxDepth > 0 && i >= maxDepth {
+			break
+		}
+		n = n.EnsureChild(u)
+		n.Count += weight
+	}
+}
+
+// Match walks the exact path seq from the pseudo-root and returns the
+// final node, or nil if the path is absent.
+func (t *Tree) Match(seq []string) *Node {
+	n := t.Root
+	for _, u := range seq {
+		n = n.Child(u)
+		if n == nil {
+			return nil
+		}
+	}
+	if n == t.Root {
+		return nil
+	}
+	return n
+}
+
+// LongestMatch finds the deepest node matching the longest suffix of
+// ctx and returns it with the matched order (suffix length). It returns
+// (nil, 0) when no suffix of ctx, not even the final URL alone, is in
+// the tree.
+func (t *Tree) LongestMatch(ctx []string) (*Node, int) {
+	for i := 0; i < len(ctx); i++ {
+		if n := t.Match(ctx[i:]); n != nil {
+			return n, len(ctx) - i
+		}
+	}
+	return nil, 0
+}
+
+// PredictAt returns the children of n whose conditional probability
+// (child count over n's count) is at least threshold, ordered by
+// descending probability with URL tie-break for determinism. order is
+// recorded on each prediction. Predicted children are marked used.
+func PredictAt(n *Node, threshold float64, order int) []Prediction {
+	if n == nil || n.Count == 0 {
+		return nil
+	}
+	var out []Prediction
+	for _, c := range n.Children {
+		p := float64(c.Count) / float64(n.Count)
+		if p >= threshold {
+			c.MarkUsed()
+			out = append(out, Prediction{URL: c.URL, Probability: p, Order: order})
+		}
+	}
+	SortPredictions(out)
+	return out
+}
+
+// SortPredictions orders predictions by descending probability, then
+// ascending URL.
+func SortPredictions(ps []Prediction) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Probability != ps[j].Probability {
+			return ps[i].Probability > ps[j].Probability
+		}
+		return ps[i].URL < ps[j].URL
+	})
+}
+
+// NodeCount returns the number of URL nodes in the tree, excluding the
+// pseudo-root. This is the paper's space metric.
+func (t *Tree) NodeCount() int {
+	return countNodes(t.Root) - 1
+}
+
+func countNodes(n *Node) int {
+	total := 1
+	for _, c := range n.Children {
+		total += countNodes(c)
+	}
+	return total
+}
+
+// LeafCount returns the number of leaves (root-to-leaf paths).
+func (t *Tree) LeafCount() int {
+	if len(t.Root.Children) == 0 {
+		return 0
+	}
+	return countLeaves(t.Root)
+}
+
+func countLeaves(n *Node) int {
+	if len(n.Children) == 0 {
+		return 1
+	}
+	total := 0
+	for _, c := range n.Children {
+		total += countLeaves(c)
+	}
+	return total
+}
+
+// Utilization returns the fraction of root-to-leaf paths whose ending
+// leaf was used by a prediction — matched as (part of) a lookup context
+// or emitted as a prefetch candidate. This follows the paper's §3.3
+// definition ("we define a path as a URL sequence from the root to an
+// ending leaf; if this path has been used, we mark it useful"): under
+// longest-suffix matching, duplicated sub-branches rooted mid-sequence
+// are skipped in favor of the longer match, so their full paths stay
+// unused. An empty tree reports zero.
+func (t *Tree) Utilization() float64 {
+	leaves, used := 0, 0
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if len(n.Children) == 0 {
+			leaves++
+			if n.used {
+				used++
+			}
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	if len(t.Root.Children) == 0 {
+		return 0
+	}
+	for _, c := range t.Root.Children {
+		walk(c)
+	}
+	if leaves == 0 {
+		return 0
+	}
+	return float64(used) / float64(leaves)
+}
+
+// ResetUsage clears all usage marks.
+func (t *Tree) ResetUsage() {
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		n.used = false
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+}
+
+// MarkPath marks every node along the exact path seq as used. Unknown
+// paths are ignored. Prediction code calls this for the matched context
+// so that interior usage is visible in diagnostics.
+func (t *Tree) MarkPath(seq []string) {
+	n := t.Root
+	for _, u := range seq {
+		n = n.Child(u)
+		if n == nil {
+			return
+		}
+		n.MarkUsed()
+	}
+}
+
+// Prune removes every non-root node (and its subtree) for which remove
+// returns true, and returns the number of nodes removed. remove is
+// called with the node's parent (possibly the pseudo-root) and the node.
+func (t *Tree) Prune(remove func(parent, child *Node) bool) int {
+	removed := 0
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		for url, c := range n.Children {
+			if remove(n, c) {
+				removed += countNodes(c)
+				delete(n.Children, url)
+				continue
+			}
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	return removed
+}
+
+// Walk visits every node in depth-first order with its path from the
+// pseudo-root. Visiting order over siblings is sorted by URL so walks
+// are deterministic.
+func (t *Tree) Walk(fn func(path []string, n *Node)) {
+	var walk func(prefix []string, n *Node)
+	walk = func(prefix []string, n *Node) {
+		urls := make([]string, 0, len(n.Children))
+		for u := range n.Children {
+			urls = append(urls, u)
+		}
+		sort.Strings(urls)
+		for _, u := range urls {
+			c := n.Children[u]
+			path := append(prefix[:len(prefix):len(prefix)], u)
+			fn(path, c)
+			walk(path, c)
+		}
+	}
+	walk(nil, t.Root)
+}
+
+// String renders the tree in a compact indented format for debugging
+// and golden tests: one "url/count" per line, two spaces per depth.
+func (t *Tree) String() string {
+	var sb strings.Builder
+	t.Walk(func(path []string, n *Node) {
+		sb.WriteString(strings.Repeat("  ", len(path)-1))
+		fmt.Fprintf(&sb, "%s/%d\n", n.URL, n.Count)
+	})
+	return sb.String()
+}
+
+// Merge folds other's counts into t, node by node — the cooperative
+// scenario of the paper's related work where service proxies aggregate
+// prediction state from multiple home servers. other is not modified.
+// Usage marks are not merged (they are prediction-phase scratch).
+func (t *Tree) Merge(other *Tree) {
+	t.Root.Count += other.Root.Count
+	var merge func(dst, src *Node)
+	merge = func(dst, src *Node) {
+		for url, sc := range src.Children {
+			dc := dst.EnsureChild(url)
+			dc.Count += sc.Count
+			merge(dc, sc)
+		}
+	}
+	merge(t.Root, other.Root)
+}

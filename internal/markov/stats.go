@@ -1,0 +1,107 @@
+package markov
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TreeStats summarizes the shape of a prediction tree — the numbers
+// behind the paper's space discussion and useful for capacity planning
+// a deployment.
+type TreeStats struct {
+	// Nodes is the URL node count (the paper's space metric).
+	Nodes int
+	// Leaves is the number of root-to-leaf paths.
+	Leaves int
+	// Roots is the number of branch heads.
+	Roots int
+	// MaxDepth is the longest branch, in nodes.
+	MaxDepth int
+	// DepthHistogram counts nodes per depth (index 0 = roots).
+	DepthHistogram []int
+	// MeanBranching is the average child count over internal nodes.
+	MeanBranching float64
+	// TotalCount is the sum of node counts (training mass).
+	TotalCount int64
+	// ApproxBytes estimates in-memory size: per-node struct, map
+	// entry, and URL string overheads.
+	ApproxBytes int64
+}
+
+// Stats computes TreeStats in one walk.
+func (t *Tree) Stats() TreeStats {
+	var st TreeStats
+	st.Roots = len(t.Root.Children)
+	internal := 0
+	childSum := 0
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		st.Nodes++
+		st.TotalCount += n.Count
+		for len(st.DepthHistogram) <= depth {
+			st.DepthHistogram = append(st.DepthHistogram, 0)
+		}
+		st.DepthHistogram[depth]++
+		if depth+1 > st.MaxDepth {
+			st.MaxDepth = depth + 1
+		}
+		// Node struct + map header/bucket share + string header+bytes.
+		st.ApproxBytes += 64 + int64(len(n.URL)) + 48
+		if len(n.Children) == 0 {
+			st.Leaves++
+			return
+		}
+		internal++
+		childSum += len(n.Children)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, c := range t.Root.Children {
+		walk(c, 0)
+	}
+	if internal > 0 {
+		st.MeanBranching = float64(childSum) / float64(internal)
+	}
+	return st
+}
+
+// String renders the stats as a small report.
+func (st TreeStats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "nodes %d (roots %d, leaves %d), max depth %d\n",
+		st.Nodes, st.Roots, st.Leaves, st.MaxDepth)
+	fmt.Fprintf(&sb, "mean branching %.2f, training mass %d, ~%d KiB\n",
+		st.MeanBranching, st.TotalCount, st.ApproxBytes/1024)
+	sb.WriteString("depth histogram:")
+	for d, n := range st.DepthHistogram {
+		fmt.Fprintf(&sb, " %d:%d", d+1, n)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// TopBranches returns the n highest-count root branches with their
+// counts, descending; a quick view of what the model considers hot.
+func (t *Tree) TopBranches(n int) []Prediction {
+	out := make([]Prediction, 0, len(t.Root.Children))
+	total := t.Root.Count
+	for _, c := range t.Root.Children {
+		p := 0.0
+		if total > 0 {
+			p = float64(c.Count) / float64(total)
+		}
+		out = append(out, Prediction{URL: c.URL, Probability: p, Order: 1})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Probability != out[j].Probability {
+			return out[i].Probability > out[j].Probability
+		}
+		return out[i].URL < out[j].URL
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}

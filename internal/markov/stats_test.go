@@ -1,0 +1,74 @@
+package markov
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTreeStats(t *testing.T) {
+	tr := NewTree()
+	tr.Insert([]string{"a", "b", "c"}, 0, 2)
+	tr.Insert([]string{"a", "d"}, 0, 1)
+	tr.Insert([]string{"x"}, 0, 5)
+
+	st := tr.Stats()
+	if st.Nodes != 5 {
+		t.Errorf("Nodes = %d, want 5", st.Nodes)
+	}
+	if st.Roots != 2 || st.Leaves != 3 {
+		t.Errorf("Roots=%d Leaves=%d", st.Roots, st.Leaves)
+	}
+	if st.MaxDepth != 3 {
+		t.Errorf("MaxDepth = %d", st.MaxDepth)
+	}
+	// Depth histogram: depth0 {a,x}=2, depth1 {b,d}=2, depth2 {c}=1.
+	want := []int{2, 2, 1}
+	for i, n := range want {
+		if st.DepthHistogram[i] != n {
+			t.Errorf("hist[%d] = %d, want %d", i, st.DepthHistogram[i], n)
+		}
+	}
+	// TotalCount: a=3, b=2, c=2, d=1, x=5 → 13.
+	if st.TotalCount != 13 {
+		t.Errorf("TotalCount = %d", st.TotalCount)
+	}
+	// Internal nodes: a (2 children), b (1 child) → mean 1.5.
+	if st.MeanBranching != 1.5 {
+		t.Errorf("MeanBranching = %v", st.MeanBranching)
+	}
+	if st.ApproxBytes <= 0 {
+		t.Error("ApproxBytes not estimated")
+	}
+	out := st.String()
+	if !strings.Contains(out, "nodes 5") || !strings.Contains(out, "depth histogram") {
+		t.Errorf("String:\n%s", out)
+	}
+}
+
+func TestTreeStatsEmpty(t *testing.T) {
+	st := NewTree().Stats()
+	if st.Nodes != 0 || st.Leaves != 0 || st.MaxDepth != 0 || st.MeanBranching != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+}
+
+func TestTopBranches(t *testing.T) {
+	tr := NewTree()
+	tr.Insert([]string{"hot"}, 0, 10)
+	tr.Insert([]string{"warm"}, 0, 5)
+	tr.Insert([]string{"cold"}, 0, 1)
+
+	top := tr.TopBranches(2)
+	if len(top) != 2 || top[0].URL != "hot" || top[1].URL != "warm" {
+		t.Fatalf("TopBranches = %+v", top)
+	}
+	if top[0].Probability != 10.0/16 {
+		t.Errorf("P(hot) = %v", top[0].Probability)
+	}
+	if got := tr.TopBranches(99); len(got) != 3 {
+		t.Errorf("TopBranches(99) = %d entries", len(got))
+	}
+	if got := NewTree().TopBranches(3); len(got) != 0 {
+		t.Errorf("empty tree TopBranches = %+v", got)
+	}
+}

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// latencyBoundsMS are the upper bounds (milliseconds) of the latency
+// histogram buckets; the final bucket is unbounded.
+var latencyBoundsMS = []int64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000}
+
+// LatencyHistogram counts per-request latencies in fixed exponential
+// buckets, enough for percentile reporting without storing samples.
+type LatencyHistogram struct {
+	Buckets [14]int64 // len(latencyBoundsMS) + 1 overflow bucket
+	Total   int64
+}
+
+// Observe records one request latency.
+func (h *LatencyHistogram) Observe(d time.Duration) {
+	ms := d.Milliseconds()
+	idx := len(latencyBoundsMS)
+	for i, b := range latencyBoundsMS {
+		if ms <= b {
+			idx = i
+			break
+		}
+	}
+	h.Buckets[idx]++
+	h.Total++
+}
+
+// Percentile returns an upper bound for the p-th percentile latency
+// (p in (0,100]); zero with no observations. The estimate is the upper
+// boundary of the bucket containing the percentile rank.
+func (h *LatencyHistogram) Percentile(p float64) time.Duration {
+	if h.Total == 0 || p <= 0 {
+		return 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := int64(p / 100 * float64(h.Total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, n := range h.Buckets {
+		seen += n
+		if seen >= rank {
+			if i < len(latencyBoundsMS) {
+				return time.Duration(latencyBoundsMS[i]) * time.Millisecond
+			}
+			return time.Duration(latencyBoundsMS[len(latencyBoundsMS)-1]) * 2 * time.Millisecond
+		}
+	}
+	return 0
+}
+
+// Merge adds other's counts into h.
+func (h *LatencyHistogram) Merge(other LatencyHistogram) {
+	for i := range h.Buckets {
+		h.Buckets[i] += other.Buckets[i]
+	}
+	h.Total += other.Total
+}
+
+// String renders the non-empty buckets.
+func (h *LatencyHistogram) String() string {
+	if h.Total == 0 {
+		return "no observations"
+	}
+	var sb strings.Builder
+	prev := int64(0)
+	for i, n := range h.Buckets {
+		if n == 0 {
+			if i < len(latencyBoundsMS) {
+				prev = latencyBoundsMS[i]
+			}
+			continue
+		}
+		if i < len(latencyBoundsMS) {
+			fmt.Fprintf(&sb, "%d-%dms: %d  ", prev, latencyBoundsMS[i], n)
+			prev = latencyBoundsMS[i]
+		} else {
+			fmt.Fprintf(&sb, ">%dms: %d  ", latencyBoundsMS[len(latencyBoundsMS)-1], n)
+		}
+	}
+	fmt.Fprintf(&sb, "(p50 <= %v, p95 <= %v, p99 <= %v)",
+		h.Percentile(50), h.Percentile(95), h.Percentile(99))
+	return sb.String()
+}

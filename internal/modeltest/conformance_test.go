@@ -1,0 +1,65 @@
+package modeltest
+
+import (
+	"testing"
+
+	"pbppm/internal/core"
+	"pbppm/internal/lrs"
+	"pbppm/internal/markov"
+	"pbppm/internal/popularity"
+	"pbppm/internal/ppm"
+	"pbppm/internal/topn"
+)
+
+// grades matches the conformance training set's popularity structure.
+var grades = popularity.FixedGrades{
+	"/hub": 3, "/mid": 2, "/leaf": 1, "/alt": 1, "/rare": 0,
+}
+
+func TestStandardPPMConformance(t *testing.T) {
+	Run(t, "PPM", func() markov.Predictor {
+		return ppm.New(ppm.Config{})
+	}, Options{})
+}
+
+func TestFixedHeightPPMConformance(t *testing.T) {
+	Run(t, "3-PPM", func() markov.Predictor {
+		return ppm.New(ppm.Config{Height: 3})
+	}, Options{})
+}
+
+func TestBlendedPPMConformance(t *testing.T) {
+	Run(t, "blended-PPM", func() markov.Predictor {
+		return ppm.New(ppm.Config{BlendOrders: true})
+	}, Options{})
+}
+
+func TestLRSConformance(t *testing.T) {
+	Run(t, "LRS", func() markov.Predictor {
+		return lrs.New(lrs.Config{})
+	}, Options{})
+}
+
+func TestPBPPMConformance(t *testing.T) {
+	Run(t, "PB-PPM", func() markov.Predictor {
+		return core.New(grades, core.Config{})
+	}, Options{})
+}
+
+func TestPBPPMOptimizedConformance(t *testing.T) {
+	// The space-optimized variant must satisfy the same contract; the
+	// optimization runs inside the factory-built model lazily via the
+	// suite's trained() helper only after training, so apply it in a
+	// wrapper that optimizes on every NodeCount-visible boundary is
+	// overkill — conformance on the unoptimized model plus the
+	// dedicated Optimize tests in internal/core cover the space.
+	Run(t, "PB-PPM-relprob", func() markov.Predictor {
+		return core.New(grades, core.Config{RelProbCutoff: 0.01})
+	}, Options{})
+}
+
+func TestTopNConformance(t *testing.T) {
+	Run(t, "Top-10", func() markov.Predictor {
+		return topn.New(topn.Config{})
+	}, Options{ContextFree: true})
+}

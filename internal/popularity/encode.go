@@ -1,0 +1,45 @@
+package popularity
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// wireRanking is the gob image of a Ranking.
+type wireRanking struct {
+	Counts map[string]int64
+	Base   float64
+	Grades int
+}
+
+// Encode serializes the ranking so a server can persist its popularity
+// state across restarts (the paper notes popularity is stable over
+// long periods, which is what makes persisting it worthwhile).
+func (rk *Ranking) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	img := wireRanking{Counts: rk.counts, Base: rk.base, Grades: rk.grades}
+	if err := gob.NewEncoder(bw).Encode(img); err != nil {
+		return fmt.Errorf("popularity: encoding ranking: %w", err)
+	}
+	return bw.Flush()
+}
+
+// DecodeRanking reads a ranking written by Encode.
+func DecodeRanking(r io.Reader) (*Ranking, error) {
+	var img wireRanking
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&img); err != nil {
+		return nil, fmt.Errorf("popularity: decoding ranking: %w", err)
+	}
+	rk := &Ranking{counts: img.Counts, base: img.Base, grades: img.Grades}
+	if rk.counts == nil {
+		rk.counts = make(map[string]int64)
+	}
+	for _, c := range rk.counts {
+		if c > rk.max {
+			rk.max = c
+		}
+	}
+	return rk, nil
+}

@@ -1,0 +1,73 @@
+package popularity
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRankingEncodeDecode(t *testing.T) {
+	rk := NewRanking()
+	rk.Observe("/a", 1000)
+	rk.Observe("/b", 10)
+	rk.Observe("/c", 1)
+
+	var buf bytes.Buffer
+	if err := rk.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := DecodeRanking(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Len() != 3 || got.MaxCount() != 1000 {
+		t.Errorf("Len=%d Max=%d", got.Len(), got.MaxCount())
+	}
+	for _, u := range []string{"/a", "/b", "/c", "/missing"} {
+		if got.GradeOf(u) != rk.GradeOf(u) || got.Count(u) != rk.Count(u) {
+			t.Errorf("%s: grade/count drifted after round trip", u)
+		}
+	}
+	// Decoded ranking keeps accepting observations.
+	got.Observe("/a", 500)
+	if got.Count("/a") != 1500 || got.MaxCount() != 1500 {
+		t.Error("decoded ranking did not observe")
+	}
+}
+
+func TestRankingEncodeDecodeCustomScale(t *testing.T) {
+	rk := NewRankingWithScale(2, 5)
+	rk.Observe("/top", 32)
+	rk.Observe("/tiny", 1)
+	var buf bytes.Buffer
+	if err := rk.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRanking(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GradeOf("/tiny") != rk.GradeOf("/tiny") {
+		t.Error("custom scale lost in round trip")
+	}
+}
+
+func TestDecodeRankingError(t *testing.T) {
+	if _, err := DecodeRanking(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("junk accepted")
+	}
+}
+
+func TestEncodeEmptyRanking(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewRanking().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRanking(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Observe("/x", 1)
+	if got.Count("/x") != 1 {
+		t.Error("empty round-tripped ranking unusable")
+	}
+}

@@ -1,0 +1,103 @@
+package popularity
+
+import (
+	"testing"
+	"time"
+)
+
+var wepoch = time.Date(1995, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func onDay(d int) time.Time { return wepoch.AddDate(0, 0, d).Add(6 * time.Hour) }
+
+func TestWindowedBasics(t *testing.T) {
+	wr := NewWindowedRanking(3)
+	for i := 0; i < 100; i++ {
+		wr.Observe("/hot", onDay(0))
+	}
+	wr.Observe("/cold", onDay(0))
+	if wr.Count("/hot") != 100 || wr.Count("/cold") != 1 {
+		t.Errorf("counts = %d, %d", wr.Count("/hot"), wr.Count("/cold"))
+	}
+	if wr.GradeOf("/hot") != 3 {
+		t.Errorf("grade(/hot) = %v", wr.GradeOf("/hot"))
+	}
+	if wr.Relative("/cold") != 0.01 {
+		t.Errorf("RP(/cold) = %v", wr.Relative("/cold"))
+	}
+	if wr.Len() != 2 || wr.Top(1)[0] != "/hot" {
+		t.Errorf("Len=%d Top=%v", wr.Len(), wr.Top(1))
+	}
+}
+
+func TestWindowedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewWindowedRanking(0) did not panic")
+		}
+	}()
+	NewWindowedRanking(0)
+}
+
+func TestWindowedExpiry(t *testing.T) {
+	wr := NewWindowedRanking(2) // keep today and yesterday
+	wr.Observe("/old", onDay(0))
+	wr.Observe("/mid", onDay(1))
+	wr.Observe("/new", onDay(2)) // day 0 falls out
+	if wr.Count("/old") != 0 {
+		t.Errorf("expired URL still counted: %d", wr.Count("/old"))
+	}
+	if wr.Count("/mid") != 1 || wr.Count("/new") != 1 {
+		t.Error("live buckets lost")
+	}
+	// Advance without observations ages the rest out.
+	wr.Advance(onDay(5))
+	if wr.Len() != 0 {
+		t.Errorf("Len after advance = %d", wr.Len())
+	}
+}
+
+func TestWindowedLateObservationsDropped(t *testing.T) {
+	wr := NewWindowedRanking(2)
+	wr.Observe("/a", onDay(5))
+	wr.Observe("/late", onDay(1)) // far older than the window: dropped
+	if wr.Count("/late") != 0 {
+		t.Error("stale observation counted")
+	}
+	// Same-day late arrivals still land in their bucket.
+	wr.Observe("/a", onDay(5))
+	if wr.Count("/a") != 2 {
+		t.Errorf("count = %d", wr.Count("/a"))
+	}
+}
+
+func TestWindowedMultiDayAggregation(t *testing.T) {
+	wr := NewWindowedRanking(7)
+	for d := 0; d < 5; d++ {
+		for i := 0; i < 10; i++ {
+			wr.Observe("/daily", onDay(d))
+		}
+	}
+	if wr.Count("/daily") != 50 {
+		t.Errorf("aggregated count = %d", wr.Count("/daily"))
+	}
+}
+
+func TestWindowedSnapshotIndependent(t *testing.T) {
+	wr := NewWindowedRanking(3)
+	wr.Observe("/a", onDay(0))
+	snap := wr.Snapshot()
+	wr.Observe("/a", onDay(0))
+	if snap.Count("/a") != 1 {
+		t.Errorf("snapshot mutated: %d", snap.Count("/a"))
+	}
+	if wr.Count("/a") != 2 {
+		t.Errorf("window count = %d", wr.Count("/a"))
+	}
+}
+
+func TestWindowedAsGrader(t *testing.T) {
+	var g Grader = NewWindowedRanking(2)
+	if g.GradeOf("/never") != 0 {
+		t.Error("unobserved URL grade != 0")
+	}
+}

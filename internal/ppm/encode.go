@@ -1,0 +1,46 @@
+package ppm
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"pbppm/internal/markov"
+)
+
+// wireModel is the gob image of a standard PPM model.
+type wireModel struct {
+	Cfg  Config
+	Tree []byte
+}
+
+// Encode persists the trained model so a server can restart without
+// retraining.
+func (m *Model) Encode(w io.Writer) error {
+	var treeBuf bytes.Buffer
+	if err := m.tree.Encode(&treeBuf); err != nil {
+		return fmt.Errorf("ppm: encoding model tree: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	if err := gob.NewEncoder(bw).Encode(wireModel{Cfg: m.cfg, Tree: treeBuf.Bytes()}); err != nil {
+		return fmt.Errorf("ppm: encoding model: %w", err)
+	}
+	return bw.Flush()
+}
+
+// DecodeModel reads a model written by Encode.
+func DecodeModel(r io.Reader) (*Model, error) {
+	var img wireModel
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&img); err != nil {
+		return nil, fmt.Errorf("ppm: decoding model: %w", err)
+	}
+	tree, err := markov.DecodeTree(bytes.NewReader(img.Tree))
+	if err != nil {
+		return nil, fmt.Errorf("ppm: decoding model tree: %w", err)
+	}
+	m := New(img.Cfg)
+	m.tree = tree
+	return m, nil
+}

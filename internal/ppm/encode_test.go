@@ -1,0 +1,38 @@
+package ppm
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestModelEncodeDecode(t *testing.T) {
+	m := New(Config{Height: 3, Threshold: 0.3})
+	for i := 0; i < 4; i++ {
+		m.TrainSequence([]string{"a", "b", "c"})
+	}
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := DecodeModel(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Name() != "3-PPM" || got.NodeCount() != m.NodeCount() {
+		t.Errorf("decoded model: %s, %d nodes", got.Name(), got.NodeCount())
+	}
+	if !reflect.DeepEqual(got.Predict([]string{"a", "b"}), m.Predict([]string{"a", "b"})) {
+		t.Error("predictions differ after round trip")
+	}
+	got.TrainSequence([]string{"a", "b"})
+	if got.NodeCount() != m.NodeCount() {
+		t.Error("decoded model structure diverged unexpectedly")
+	}
+}
+
+func TestDecodeModelError(t *testing.T) {
+	if _, err := DecodeModel(bytes.NewReader([]byte("x"))); err == nil {
+		t.Error("junk accepted")
+	}
+}

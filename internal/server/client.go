@@ -1,0 +1,209 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"pbppm/internal/cache"
+)
+
+// ClientStats is a snapshot of client-side counters.
+type ClientStats struct {
+	Requests      int64
+	CacheHits     int64
+	PrefetchHits  int64
+	Prefetched    int64
+	PrefetchError int64
+}
+
+// HitRatio is total hits over requests.
+func (s ClientStats) HitRatio() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.CacheHits+s.PrefetchHits) / float64(s.Requests)
+}
+
+// Client is a prefetching Web client: it keeps a browser cache, sends
+// its identity with every request, and fetches the server's prefetch
+// hints into the cache in the background.
+type Client struct {
+	id      string
+	base    string
+	http    *http.Client
+	maxSize int64
+
+	mu    sync.Mutex
+	cache cache.Policy
+	stats ClientStats
+	// wg tracks in-flight background prefetches so tests and shutdown
+	// can drain them.
+	wg sync.WaitGroup
+}
+
+// ClientConfig parameterizes a Client.
+type ClientConfig struct {
+	// ID identifies this client to the server; required.
+	ID string
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// CacheBytes sizes the browser cache; zero selects the paper's 1 MB.
+	CacheBytes int64
+	// MaxPrefetchBytes skips hints whose body exceeds this; zero
+	// selects 30 KB.
+	MaxPrefetchBytes int64
+	// HTTPClient overrides the transport; nil selects
+	// http.DefaultClient.
+	HTTPClient *http.Client
+	// Policy selects the cache replacement policy; nil selects a 1 MB
+	// LRU (or CacheBytes if set).
+	Policy cache.Policy
+}
+
+// NewClient builds a prefetching client. It returns an error on a
+// missing ID or base URL.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("server: client needs an ID")
+	}
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("server: client needs a BaseURL")
+	}
+	capacity := cfg.CacheBytes
+	if capacity == 0 {
+		capacity = cache.DefaultBrowserCapacity
+	}
+	pol := cfg.Policy
+	if pol == nil {
+		pol = cache.NewLRU(capacity)
+	}
+	maxSize := cfg.MaxPrefetchBytes
+	if maxSize == 0 {
+		maxSize = 30 * 1024
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{
+		id:      cfg.ID,
+		base:    cfg.BaseURL,
+		http:    hc,
+		maxSize: maxSize,
+		cache:   pol,
+	}, nil
+}
+
+// Get retrieves url (a server path like "/news.html"), serving from
+// the browser cache when possible and following prefetch hints
+// otherwise. It returns the body source: "cache", "prefetch", or
+// "network".
+func (c *Client) Get(url string) (source string, err error) {
+	c.mu.Lock()
+	c.stats.Requests++
+	if ok, prefetched := c.cache.Get(url); ok {
+		if prefetched {
+			c.stats.PrefetchHits++
+			c.cache.MarkDemand(url)
+			c.mu.Unlock()
+			return "prefetch", nil
+		}
+		c.stats.CacheHits++
+		c.mu.Unlock()
+		return "cache", nil
+	}
+	c.mu.Unlock()
+
+	body, hints, err := c.fetch(url, false)
+	if err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	c.cache.Put(url, int64(len(body)), false)
+	c.mu.Unlock()
+
+	for _, h := range hints {
+		h := h
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.prefetch(h.URL)
+		}()
+	}
+	return "network", nil
+}
+
+// prefetch pulls one hinted document into the cache.
+func (c *Client) prefetch(url string) {
+	c.mu.Lock()
+	if c.cache.Contains(url) {
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+
+	body, _, err := c.fetch(url, true)
+	if err != nil {
+		c.mu.Lock()
+		c.stats.PrefetchError++
+		c.mu.Unlock()
+		return
+	}
+	if int64(len(body)) > c.maxSize {
+		return
+	}
+	c.mu.Lock()
+	if !c.cache.Contains(url) {
+		c.cache.Put(url, int64(len(body)), true)
+		c.stats.Prefetched++
+	}
+	c.mu.Unlock()
+}
+
+// fetch performs one HTTP GET against the server.
+func (c *Client) fetch(url string, isPrefetch bool) (body []byte, hints []hint, err error) {
+	req, err := http.NewRequest(http.MethodGet, c.base+url, nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: building request for %s: %w", url, err)
+	}
+	req.Header.Set(HeaderClientID, c.id)
+	if isPrefetch {
+		req.Header.Set(HeaderPrefetchFetch, "1")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: fetching %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("server: fetching %s: status %s", url, resp.Status)
+	}
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: reading %s: %w", url, err)
+	}
+	for _, p := range ParseHints(resp.Header.Get(HeaderPrefetch)) {
+		hints = append(hints, hint{URL: p.URL, Probability: p.Probability})
+	}
+	return body, hints, nil
+}
+
+// hint mirrors markov.Prediction without importing it into the narrow
+// client path.
+type hint struct {
+	URL         string
+	Probability float64
+}
+
+// Wait drains in-flight background prefetches; tests call it before
+// asserting on cache contents.
+func (c *Client) Wait() { c.wg.Wait() }
+
+// Stats returns a snapshot of the client counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

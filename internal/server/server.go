@@ -1,0 +1,345 @@
+// Package server implements a deployable HTTP prefetching server — the
+// system the paper's simulator models. The server holds a prediction
+// model (any markov.Predictor: PB-PPM, standard PPM, LRS, Top-10),
+// tracks per-client access sessions with the paper's 30-minute idle
+// rule, continuously counts URL popularity, and attaches prefetch
+// hints to every response it serves.
+//
+// HTTP/1.x cannot push unsolicited bodies, so the server uses the
+// hint-based protocol of the literature the paper builds on (Cohen et
+// al., Kroeger/Long/Mogul): each response carries an X-Prefetch header
+// listing predicted URLs with probabilities, and a cooperating client
+// (see Client) fetches them into its cache, tagging those fetches with
+// X-Prefetch-Fetch so the server can keep demand statistics clean.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"pbppm/internal/markov"
+	"pbppm/internal/popularity"
+	"pbppm/internal/session"
+)
+
+// Header names of the hint protocol.
+const (
+	// HeaderClientID identifies the end client (proxies forward it);
+	// absent, the remote address is used.
+	HeaderClientID = "X-Client-ID"
+	// HeaderPrefetch carries the hint list:
+	// "url;p=0.62, url2;p=0.31".
+	HeaderPrefetch = "X-Prefetch"
+	// HeaderPrefetchFetch marks a request as a hint-driven prefetch so
+	// it is excluded from demand statistics and prediction contexts.
+	HeaderPrefetchFetch = "X-Prefetch-Fetch"
+)
+
+// Document is one servable resource.
+type Document struct {
+	URL         string
+	Body        []byte
+	ContentType string
+}
+
+// ContentStore resolves URLs to documents.
+type ContentStore interface {
+	// Lookup returns the document for url; ok reports whether it exists.
+	Lookup(url string) (doc Document, ok bool)
+}
+
+// MapStore is a ContentStore backed by a map. The zero value is empty.
+type MapStore map[string]Document
+
+// Lookup implements ContentStore.
+func (m MapStore) Lookup(url string) (Document, bool) {
+	d, ok := m[url]
+	return d, ok
+}
+
+// Config parameterizes the server.
+type Config struct {
+	// Predictor serves prefetch hints; nil disables hinting until
+	// SetPredictor is called.
+	Predictor markov.Predictor
+	// MaxHints caps the hint list per response; zero selects 4.
+	MaxHints int
+	// MaxHintBytes drops hints whose document exceeds this size; zero
+	// selects the paper's 30 KB PB-PPM threshold.
+	MaxHintBytes int64
+	// SessionIdle splits per-client contexts; zero selects the paper's
+	// 30 minutes.
+	SessionIdle time.Duration
+	// Clock supplies time for session bookkeeping; nil selects
+	// time.Now. Tests inject a fake clock.
+	Clock func() time.Time
+	// OnSessionEnd, if set, receives each completed access session (a
+	// client context closed by the idle rule or by ExpireSessions).
+	// The maintenance loop uses it to feed its sliding window. It is
+	// called without the server lock held and must not block for long.
+	OnSessionEnd func(client string, urls []string, last time.Time)
+}
+
+func (c Config) maxHints() int {
+	if c.MaxHints <= 0 {
+		return 4
+	}
+	return c.MaxHints
+}
+
+func (c Config) maxHintBytes() int64 {
+	if c.MaxHintBytes <= 0 {
+		return 30 * 1024
+	}
+	return c.MaxHintBytes
+}
+
+func (c Config) idle() time.Duration {
+	if c.SessionIdle <= 0 {
+		return session.DefaultIdleTimeout
+	}
+	return c.SessionIdle
+}
+
+func (c Config) now() time.Time {
+	if c.Clock != nil {
+		return c.Clock()
+	}
+	return time.Now()
+}
+
+// Stats is a snapshot of server counters.
+type Stats struct {
+	DemandRequests   int64
+	PrefetchRequests int64
+	NotFound         int64
+	HintsIssued      int64
+	SessionsStarted  int64
+}
+
+// Server is an http.Handler serving a ContentStore with prefetch hints.
+type Server struct {
+	store ContentStore
+	cfg   Config
+
+	mu       sync.Mutex
+	pred     markov.Predictor
+	rank     *popularity.Ranking
+	contexts map[string]*clientContext
+	stats    Stats
+}
+
+// clientContext is one client's open access session.
+type clientContext struct {
+	urls []string
+	last time.Time
+}
+
+// New returns a server over store. It panics on a nil store: a server
+// without content is a programmer error.
+func New(store ContentStore, cfg Config) *Server {
+	if store == nil {
+		panic("server: nil content store")
+	}
+	return &Server{
+		store:    store,
+		cfg:      cfg,
+		pred:     cfg.Predictor,
+		rank:     popularity.NewRanking(),
+		contexts: make(map[string]*clientContext),
+	}
+}
+
+// SetPredictor atomically swaps the prediction model; the maintenance
+// loop calls this after a periodic rebuild.
+func (s *Server) SetPredictor(p markov.Predictor) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pred = p
+}
+
+// Ranking returns a snapshot copy of the server's online popularity
+// counts, suitable for building a fresh PB-PPM model.
+func (s *Server) Ranking() *popularity.Ranking {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := popularity.NewRanking()
+	for _, u := range s.rank.Top(s.rank.Len()) {
+		out.Observe(u, s.rank.Count(u))
+	}
+	return out
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// clientOf extracts the client identity from a request.
+func clientOf(r *http.Request) string {
+	if id := r.Header.Get(HeaderClientID); id != "" {
+		return id
+	}
+	host := r.RemoteAddr
+	if i := strings.LastIndexByte(host, ':'); i > 0 {
+		host = host[:i]
+	}
+	return host
+}
+
+// ServeHTTP serves the document and attaches prefetch hints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	url := r.URL.Path
+	doc, ok := s.store.Lookup(url)
+	if !ok {
+		s.mu.Lock()
+		s.stats.NotFound++
+		s.mu.Unlock()
+		http.NotFound(w, r)
+		return
+	}
+
+	isPrefetch := r.Header.Get(HeaderPrefetchFetch) != ""
+	var hints []markov.Prediction
+	if isPrefetch {
+		s.mu.Lock()
+		s.stats.PrefetchRequests++
+		s.mu.Unlock()
+	} else {
+		hints = s.observeDemand(clientOf(r), url)
+	}
+
+	if len(hints) > 0 {
+		w.Header().Set(HeaderPrefetch, formatHints(hints))
+	}
+	ct := doc.ContentType
+	if ct == "" {
+		ct = "text/html; charset=utf-8"
+	}
+	w.Header().Set("Content-Type", ct)
+	w.Header().Set("Content-Length", strconv.Itoa(len(doc.Body)))
+	if r.Method == http.MethodHead {
+		return
+	}
+	w.Write(doc.Body) //nolint:errcheck // client disconnects are not server errors
+}
+
+// observeDemand updates the client's session context, popularity, and
+// statistics, and computes the prefetch hints for this response.
+func (s *Server) observeDemand(client, url string) []markov.Prediction {
+	now := s.cfg.now()
+	var ended *clientContext
+	defer func() {
+		if ended != nil && s.cfg.OnSessionEnd != nil {
+			s.cfg.OnSessionEnd(client, ended.urls, ended.last)
+		}
+	}()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	s.stats.DemandRequests++
+	s.rank.Observe(url, 1)
+
+	ctx := s.contexts[client]
+	if ctx == nil || now.Sub(ctx.last) > s.cfg.idle() {
+		if ctx != nil {
+			ended = ctx
+		}
+		ctx = &clientContext{}
+		s.contexts[client] = ctx
+		s.stats.SessionsStarted++
+	}
+	ctx.urls = append(ctx.urls, url)
+	ctx.last = now
+
+	if s.pred == nil {
+		return nil
+	}
+	preds := s.pred.Predict(ctx.urls)
+	out := preds[:0]
+	for _, p := range preds {
+		if doc, ok := s.store.Lookup(p.URL); !ok || int64(len(doc.Body)) > s.cfg.maxHintBytes() {
+			continue
+		}
+		out = append(out, p)
+		if len(out) == s.cfg.maxHints() {
+			break
+		}
+	}
+	s.stats.HintsIssued += int64(len(out))
+	return out
+}
+
+// ExpireSessions drops client contexts idle beyond the session window;
+// long-running servers call it periodically to bound memory. Expired
+// contexts are reported through OnSessionEnd.
+func (s *Server) ExpireSessions() int {
+	now := s.cfg.now()
+	type endedCtx struct {
+		client string
+		ctx    *clientContext
+	}
+	var ended []endedCtx
+	s.mu.Lock()
+	for c, ctx := range s.contexts {
+		if now.Sub(ctx.last) > s.cfg.idle() {
+			delete(s.contexts, c)
+			ended = append(ended, endedCtx{client: c, ctx: ctx})
+		}
+	}
+	s.mu.Unlock()
+	if s.cfg.OnSessionEnd != nil {
+		for _, e := range ended {
+			s.cfg.OnSessionEnd(e.client, e.ctx.urls, e.ctx.last)
+		}
+	}
+	return len(ended)
+}
+
+// formatHints renders "url;p=0.62, url2;p=0.31".
+func formatHints(hints []markov.Prediction) string {
+	parts := make([]string, len(hints))
+	for i, h := range hints {
+		parts[i] = fmt.Sprintf("%s;p=%.3f", h.URL, h.Probability)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ParseHints inverts formatHints; malformed elements are skipped.
+func ParseHints(header string) []markov.Prediction {
+	if header == "" {
+		return nil
+	}
+	var out []markov.Prediction
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		url, rest, found := strings.Cut(part, ";")
+		p := markov.Prediction{URL: strings.TrimSpace(url), Probability: 0}
+		if found {
+			if v, ok := strings.CutPrefix(strings.TrimSpace(rest), "p="); ok {
+				if f, err := strconv.ParseFloat(v, 64); err == nil {
+					p.Probability = f
+				}
+			}
+		}
+		if p.URL != "" {
+			out = append(out, p)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Probability > out[j].Probability })
+	return out
+}

@@ -1,0 +1,345 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pbppm/internal/core"
+	"pbppm/internal/popularity"
+)
+
+// testStore builds a small site: /home links into a news chain.
+func testStore() MapStore {
+	store := MapStore{}
+	for url, size := range map[string]int{
+		"/home":       4000,
+		"/news":       3000,
+		"/news/today": 2500,
+		"/sports":     3500,
+		"/huge":       64 * 1024,
+	} {
+		store[url] = Document{URL: url, Body: make([]byte, size)}
+	}
+	return store
+}
+
+// trainedPB builds a PB-PPM model that knows /home -> /news -> /news/today.
+func trainedPB() *core.Model {
+	grades := popularity.FixedGrades{"/home": 3, "/news": 2, "/news/today": 1, "/sports": 2, "/huge": 3}
+	m := core.New(grades, core.Config{})
+	for i := 0; i < 5; i++ {
+		m.TrainSequence([]string{"/home", "/news", "/news/today"})
+	}
+	return m
+}
+
+func TestServeDocument(t *testing.T) {
+	srv := New(testStore(), Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %s", resp.Status)
+	}
+	if got := resp.ContentLength; got != 4000 {
+		t.Errorf("Content-Length = %d", got)
+	}
+	if st := srv.Stats(); st.DemandRequests != 1 || st.SessionsStarted != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestNotFoundAndMethods(t *testing.T) {
+	srv := New(testStore(), Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %s", resp.Status)
+	}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/home", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %s", resp.Status)
+	}
+	if st := srv.Stats(); st.NotFound != 1 {
+		t.Errorf("NotFound = %d", st.NotFound)
+	}
+}
+
+func TestHintsIssued(t *testing.T) {
+	srv := New(testStore(), Config{Predictor: trainedPB()})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/home", nil)
+	req.Header.Set(HeaderClientID, "alice")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	hints := ParseHints(resp.Header.Get(HeaderPrefetch))
+	if len(hints) == 0 {
+		t.Fatal("no hints on /home response")
+	}
+	if hints[0].URL != "/news" {
+		t.Errorf("first hint = %+v, want /news", hints[0])
+	}
+	if st := srv.Stats(); st.HintsIssued == 0 {
+		t.Error("HintsIssued = 0")
+	}
+}
+
+func TestHintsRespectSizeCap(t *testing.T) {
+	grades := popularity.FixedGrades{"/home": 3, "/huge": 3}
+	m := core.New(grades, core.Config{})
+	for i := 0; i < 5; i++ {
+		m.TrainSequence([]string{"/home", "/huge"})
+	}
+	srv := New(testStore(), Config{Predictor: m, MaxHintBytes: 10 * 1024})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/home", nil)
+	req.Header.Set(HeaderClientID, "bob")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, h := range ParseHints(resp.Header.Get(HeaderPrefetch)) {
+		if h.URL == "/huge" {
+			t.Error("oversize document hinted")
+		}
+	}
+}
+
+func TestPrefetchRequestsExcludedFromContext(t *testing.T) {
+	srv := New(testStore(), Config{Predictor: trainedPB()})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	get := func(url string, prefetch bool) {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+url, nil)
+		req.Header.Set(HeaderClientID, "carol")
+		if prefetch {
+			req.Header.Set(HeaderPrefetchFetch, "1")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	get("/home", false)
+	get("/news", true) // prefetch: must not pollute the session context
+	get("/sports", false)
+
+	st := srv.Stats()
+	if st.DemandRequests != 2 || st.PrefetchRequests != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	srv.mu.Lock()
+	ctx := srv.contexts["carol"].urls
+	srv.mu.Unlock()
+	if strings.Join(ctx, " ") != "/home /sports" {
+		t.Errorf("context = %v", ctx)
+	}
+}
+
+func TestSessionIdleSplitsContext(t *testing.T) {
+	now := time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	srv := New(testStore(), Config{Clock: clock, SessionIdle: 10 * time.Minute})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	get := func(url string) {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+url, nil)
+		req.Header.Set(HeaderClientID, "dave")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	get("/home")
+	now = now.Add(11 * time.Minute)
+	get("/news")
+	if st := srv.Stats(); st.SessionsStarted != 2 {
+		t.Errorf("SessionsStarted = %d, want 2", st.SessionsStarted)
+	}
+	srv.mu.Lock()
+	ctx := srv.contexts["dave"].urls
+	srv.mu.Unlock()
+	if len(ctx) != 1 || ctx[0] != "/news" {
+		t.Errorf("context after idle split = %v", ctx)
+	}
+	// Expiry removes contexts idle past the window.
+	now = now.Add(time.Hour)
+	if removed := srv.ExpireSessions(); removed != 1 {
+		t.Errorf("ExpireSessions = %d", removed)
+	}
+}
+
+func TestOnlineRankingAndSetPredictor(t *testing.T) {
+	srv := New(testStore(), Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for i := 0; i < 5; i++ {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/home", nil)
+		req.Header.Set(HeaderClientID, fmt.Sprintf("c%d", i))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	rank := srv.Ranking()
+	if rank.Count("/home") != 5 {
+		t.Errorf("ranking count = %d", rank.Count("/home"))
+	}
+	// Rebuild a model from the online ranking and install it.
+	m := core.New(rank, core.Config{})
+	m.TrainSequence([]string{"/home", "/news"})
+	srv.SetPredictor(m)
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/home", nil)
+	req.Header.Set(HeaderClientID, "fresh")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get(HeaderPrefetch) == "" {
+		t.Error("no hints after SetPredictor")
+	}
+}
+
+func TestParseHints(t *testing.T) {
+	hints := ParseHints("/a;p=0.500, /b;p=0.250,/c, bogus;;p=x, ;p=1")
+	if len(hints) != 4 {
+		t.Fatalf("hints = %+v", hints)
+	}
+	if hints[0].URL != "/a" || hints[0].Probability != 0.5 {
+		t.Errorf("first = %+v", hints[0])
+	}
+	if hints[1].URL != "/b" || hints[1].Probability != 0.25 {
+		t.Errorf("second = %+v", hints[1])
+	}
+	if ParseHints("") != nil {
+		t.Error("empty header parsed to hints")
+	}
+}
+
+func TestNewPanicsOnNilStore(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(nil) did not panic")
+		}
+	}()
+	New(nil, Config{})
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv := New(testStore(), Config{Predictor: trainedPB()})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				url := []string{"/home", "/news", "/news/today", "/sports"}[j%4]
+				req, _ := http.NewRequest(http.MethodGet, ts.URL+url, nil)
+				req.Header.Set(HeaderClientID, fmt.Sprintf("client%d", id))
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st := srv.Stats(); st.DemandRequests != 160 {
+		t.Errorf("DemandRequests = %d, want 160", st.DemandRequests)
+	}
+}
+
+func TestOnSessionEndHook(t *testing.T) {
+	now := time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	var mu sync.Mutex
+	var ended [][]string
+	srv := New(testStore(), Config{
+		Clock:       clock,
+		SessionIdle: 10 * time.Minute,
+		OnSessionEnd: func(client string, urls []string, last time.Time) {
+			mu.Lock()
+			ended = append(ended, append([]string{client}, urls...))
+			mu.Unlock()
+		},
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	get := func(url string) {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+url, nil)
+		req.Header.Set(HeaderClientID, "erin")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	get("/home")
+	get("/news")
+	now = now.Add(time.Hour)
+	get("/sports") // idle split ends the first session
+
+	mu.Lock()
+	n := len(ended)
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("ended sessions = %d, want 1", n)
+	}
+	if strings.Join(ended[0], " ") != "erin /home /news" {
+		t.Errorf("ended = %v", ended[0])
+	}
+
+	// Expiry also reports the open session.
+	now = now.Add(time.Hour)
+	if removed := srv.ExpireSessions(); removed != 1 {
+		t.Errorf("ExpireSessions = %d", removed)
+	}
+	mu.Lock()
+	n = len(ended)
+	mu.Unlock()
+	if n != 2 {
+		t.Errorf("ended sessions after expiry = %d, want 2", n)
+	}
+}

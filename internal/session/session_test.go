@@ -1,0 +1,279 @@
+package session
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"pbppm/internal/trace"
+)
+
+var epoch = time.Date(1995, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func at(sec int) time.Time { return epoch.Add(time.Duration(sec) * time.Second) }
+
+func rec(sec int, client, url string, bytes int64) trace.Record {
+	return trace.Record{Client: client, Time: at(sec), Method: "GET", URL: url, Status: 200, Bytes: bytes}
+}
+
+func mktrace(recs ...trace.Record) *trace.Trace {
+	tr := &trace.Trace{Epoch: epoch, Records: recs}
+	tr.Sort()
+	return tr
+}
+
+func TestSessionizeSingleSession(t *testing.T) {
+	tr := mktrace(
+		rec(0, "c", "/a.html", 100),
+		rec(10, "c", "/b.html", 200),
+		rec(20, "c", "/c.html", 300),
+	)
+	ss := Sessionize(tr, Config{})
+	if len(ss) != 1 {
+		t.Fatalf("got %d sessions, want 1", len(ss))
+	}
+	urls := ss[0].URLs()
+	want := []string{"/a.html", "/b.html", "/c.html"}
+	if len(urls) != 3 {
+		t.Fatalf("urls = %v", urls)
+	}
+	for i := range want {
+		if urls[i] != want[i] {
+			t.Errorf("url[%d] = %s, want %s", i, urls[i], want[i])
+		}
+	}
+	if ss[0].Client != "c" || !ss[0].Start().Equal(at(0)) || ss[0].Len() != 3 {
+		t.Errorf("session meta = %+v", ss[0])
+	}
+}
+
+func TestSessionizeIdleSplit(t *testing.T) {
+	tr := mktrace(
+		rec(0, "c", "/a.html", 1),
+		rec(1800, "c", "/b.html", 1), // exactly 30 min: same session
+		rec(3601, "c", "/c.html", 1), // 30m01s gap: new session
+		rec(3602, "c", "/d.html", 1),
+	)
+	ss := Sessionize(tr, Config{})
+	if len(ss) != 2 {
+		t.Fatalf("got %d sessions, want 2: %+v", len(ss), ss)
+	}
+	if ss[0].Len() != 2 || ss[1].Len() != 2 {
+		t.Errorf("session lengths = %d, %d, want 2, 2", ss[0].Len(), ss[1].Len())
+	}
+}
+
+func TestSessionizeCustomIdle(t *testing.T) {
+	tr := mktrace(
+		rec(0, "c", "/a.html", 1),
+		rec(61, "c", "/b.html", 1),
+	)
+	ss := Sessionize(tr, Config{IdleTimeout: time.Minute})
+	if len(ss) != 2 {
+		t.Fatalf("got %d sessions, want 2", len(ss))
+	}
+}
+
+func TestSessionizePerClient(t *testing.T) {
+	tr := mktrace(
+		rec(0, "a", "/1.html", 1),
+		rec(1, "b", "/2.html", 1),
+		rec(2, "a", "/3.html", 1),
+		rec(3, "b", "/4.html", 1),
+	)
+	ss := Sessionize(tr, Config{})
+	if len(ss) != 2 {
+		t.Fatalf("got %d sessions, want 2", len(ss))
+	}
+	// Sorted by start time: client a first.
+	if ss[0].Client != "a" || ss[1].Client != "b" {
+		t.Errorf("clients = %s, %s", ss[0].Client, ss[1].Client)
+	}
+	if ss[0].URLs()[1] != "/3.html" || ss[1].URLs()[1] != "/4.html" {
+		t.Error("per-client interleaving broken")
+	}
+}
+
+func TestEmbeddedFolding(t *testing.T) {
+	tr := mktrace(
+		rec(0, "c", "/page.html", 1000),
+		rec(3, "c", "/img/a.gif", 50),
+		rec(9, "c", "/img/b.jpg", 60),
+		rec(12, "c", "/img/late.gif", 70), // 12s after HTML: its own view
+	)
+	ss := Sessionize(tr, Config{})
+	if len(ss) != 1 {
+		t.Fatalf("got %d sessions", len(ss))
+	}
+	views := ss[0].Views
+	if len(views) != 2 {
+		t.Fatalf("got %d views, want 2 (folded page + late image): %+v", len(views), views)
+	}
+	if len(views[0].Embedded) != 2 {
+		t.Fatalf("embedded = %+v, want 2 objects", views[0].Embedded)
+	}
+	if views[0].TotalBytes() != 1000+50+60 {
+		t.Errorf("TotalBytes = %d, want 1110", views[0].TotalBytes())
+	}
+	if views[1].URL != "/img/late.gif" {
+		t.Errorf("second view = %s", views[1].URL)
+	}
+}
+
+func TestEmbeddedFoldingAnchorReset(t *testing.T) {
+	// An intervening non-HTML click breaks the folding anchor.
+	tr := mktrace(
+		rec(0, "c", "/page.html", 1000),
+		rec(2, "c", "/download.zip", 5000),
+		rec(4, "c", "/img/a.gif", 50),
+	)
+	ss := Sessionize(tr, Config{})
+	if len(ss[0].Views) != 3 {
+		t.Fatalf("views = %+v, want 3 (no folding across the zip)", ss[0].Views)
+	}
+}
+
+func TestEmbeddedFoldingDisabled(t *testing.T) {
+	tr := mktrace(
+		rec(0, "c", "/page.html", 1000),
+		rec(1, "c", "/img/a.gif", 50),
+	)
+	ss := Sessionize(tr, Config{EmbedWindow: -1})
+	if len(ss[0].Views) != 2 {
+		t.Fatalf("views = %d, want 2 with folding disabled", len(ss[0].Views))
+	}
+}
+
+func TestStatusFiltering(t *testing.T) {
+	r404 := rec(1, "c", "/missing.html", 0)
+	r404.Status = 404
+	r304 := rec(2, "c", "/cached.html", 0)
+	r304.Status = 304
+	tr := mktrace(rec(0, "c", "/a.html", 1), r404, r304)
+	ss := Sessionize(tr, Config{})
+	if len(ss) != 1 || ss[0].Len() != 2 {
+		t.Fatalf("sessions = %+v, want one session of 2 views (404 dropped, 304 kept)", ss)
+	}
+	// Custom status set.
+	ss = Sessionize(tr, Config{KeepStatuses: map[int]bool{200: true}})
+	if ss[0].Len() != 1 {
+		t.Errorf("custom status filter kept %d views, want 1", ss[0].Len())
+	}
+}
+
+func TestSessionizeEmptyTrace(t *testing.T) {
+	if got := Sessionize(&trace.Trace{Epoch: epoch}, Config{}); len(got) != 0 {
+		t.Errorf("empty trace produced %d sessions", len(got))
+	}
+}
+
+func TestClassifyClients(t *testing.T) {
+	var recs []trace.Record
+	// "heavy" makes 150 requests on day 0; "light" makes 5/day on two days.
+	for i := 0; i < 150; i++ {
+		recs = append(recs, rec(i, "heavy", "/x.html", 1))
+	}
+	for d := 0; d < 2; d++ {
+		for i := 0; i < 5; i++ {
+			recs = append(recs, rec(d*86400+i, "light", "/y.html", 1))
+		}
+	}
+	tr := mktrace(recs...)
+	classes := ClassifyClients(tr, 0)
+	if classes["heavy"] != Proxy {
+		t.Errorf("heavy = %v, want proxy", classes["heavy"])
+	}
+	if classes["light"] != Browser {
+		t.Errorf("light = %v, want browser", classes["light"])
+	}
+	// Lower threshold flips the light client too.
+	classes = ClassifyClients(tr, 4)
+	if classes["light"] != Proxy {
+		t.Errorf("light with threshold 4 = %v, want proxy", classes["light"])
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Browser.String() != "browser" || Proxy.String() != "proxy" {
+		t.Error("ClientClass.String mismatch")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	mk := func(n int) Session {
+		s := Session{Client: "c"}
+		for i := 0; i < n; i++ {
+			s.Views = append(s.Views, PageView{URL: "/x", Time: at(i)})
+		}
+		return s
+	}
+	st := Summarize([]Session{mk(1), mk(3), mk(12)})
+	if st.Sessions != 3 || st.TotalClicks != 16 || st.MaxLength != 12 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MeanLength < 5.3 || st.MeanLength > 5.4 {
+		t.Errorf("mean = %v", st.MeanLength)
+	}
+	if st.LengthAtMost9 < 0.66 || st.LengthAtMost9 > 0.67 {
+		t.Errorf("LengthAtMost9 = %v", st.LengthAtMost9)
+	}
+	if got := Summarize(nil); got.Sessions != 0 || got.MeanLength != 0 {
+		t.Errorf("empty summarize = %+v", got)
+	}
+}
+
+func TestSessionStartEmpty(t *testing.T) {
+	var s Session
+	if !s.Start().IsZero() {
+		t.Error("empty session Start not zero")
+	}
+}
+
+// Property: no session contains an inter-view gap exceeding the idle
+// timeout, across random traces.
+func TestNoIntraSessionGapProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var recs []trace.Record
+	clients := []string{"a", "b", "c"}
+	tm := 0
+	for i := 0; i < 2000; i++ {
+		tm += rng.Intn(2400) // gaps up to 40 min
+		recs = append(recs, rec(tm, clients[rng.Intn(len(clients))],
+			"/p"+string(rune('a'+rng.Intn(20)))+".html", 1))
+	}
+	tr := mktrace(recs...)
+	for _, s := range Sessionize(tr, Config{}) {
+		for i := 1; i < len(s.Views); i++ {
+			if gap := s.Views[i].Time.Sub(s.Views[i-1].Time); gap > DefaultIdleTimeout {
+				t.Fatalf("session %s contains a %v gap", s.Client, gap)
+			}
+		}
+	}
+}
+
+// Property: sessionization conserves records — every kept record lands
+// in exactly one session, as a view or an embedded object.
+func TestSessionizeConservesRecordsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	var recs []trace.Record
+	tm := 0
+	for i := 0; i < 1500; i++ {
+		tm += rng.Intn(60)
+		url := "/page" + string(rune('a'+rng.Intn(10))) + ".html"
+		if rng.Intn(3) == 0 {
+			url = "/img" + string(rune('a'+rng.Intn(10))) + ".gif"
+		}
+		recs = append(recs, rec(tm, "c"+string(rune('0'+rng.Intn(4))), url, 1))
+	}
+	tr := mktrace(recs...)
+	views, embedded := 0, 0
+	for _, s := range Sessionize(tr, Config{}) {
+		views += len(s.Views)
+		for _, v := range s.Views {
+			embedded += len(v.Embedded)
+		}
+	}
+	if views+embedded != len(recs) {
+		t.Errorf("records %d != views %d + embedded %d", len(recs), views, embedded)
+	}
+}

@@ -1,0 +1,90 @@
+// Package topn implements the Top-10 server-initiated prefetching
+// baseline the paper discusses in its related work (§6): Markatos &
+// Chronaki's approach, where a Web server regularly pushes its most
+// popular documents regardless of the requesting client's context.
+//
+// It implements the same Predictor interface as the PPM models, which
+// lets the simulator and the experiment harness compare context-free
+// popularity pushing against context-aware Markov prediction — the
+// contrast motivating popularity-BASED (not popularity-ONLY)
+// prefetching.
+package topn
+
+import (
+	"pbppm/internal/markov"
+	"pbppm/internal/popularity"
+)
+
+// Config parameterizes the Top-N model.
+type Config struct {
+	// N is how many of the most popular documents are candidates;
+	// zero selects the eponymous 10.
+	N int
+	// MinRelative drops candidates whose relative popularity is below
+	// this floor (avoids pushing the long tail on tiny servers).
+	MinRelative float64
+}
+
+func (c Config) n() int {
+	if c.N <= 0 {
+		return 10
+	}
+	return c.N
+}
+
+// Model is a Top-N popularity pusher.
+type Model struct {
+	cfg  Config
+	rank *popularity.Ranking
+}
+
+var _ markov.Predictor = (*Model)(nil)
+
+// New returns an empty Top-N model.
+func New(cfg Config) *Model {
+	return &Model{cfg: cfg, rank: popularity.NewRanking()}
+}
+
+// Name identifies the model.
+func (m *Model) Name() string { return "Top-10" }
+
+// TrainSequence counts document accesses; sequence structure is
+// ignored — this baseline has no notion of context.
+func (m *Model) TrainSequence(seq []string) {
+	for _, u := range seq {
+		m.rank.Observe(u, 1)
+	}
+}
+
+// Predict returns the top-N popular documents with their relative
+// popularity as the (context-free) probability estimate. The current
+// document itself is excluded: pushing what was just served is free
+// but useless.
+func (m *Model) Predict(context []string) []markov.Prediction {
+	cur := ""
+	if len(context) > 0 {
+		cur = context[len(context)-1]
+	}
+	var out []markov.Prediction
+	for _, u := range m.rank.Top(m.cfg.n() + 1) {
+		if u == cur {
+			continue
+		}
+		rp := m.rank.Relative(u)
+		if rp < m.cfg.MinRelative {
+			continue
+		}
+		out = append(out, markov.Prediction{URL: u, Probability: rp, Order: 0})
+		if len(out) == m.cfg.n() {
+			break
+		}
+	}
+	return out
+}
+
+// NodeCount reports the model's storage requirement: one counter per
+// distinct document, the cheapest of all the models.
+func (m *Model) NodeCount() int { return m.rank.Len() }
+
+// Ranking exposes the underlying popularity state.
+func (m *Model) Ranking() *popularity.Ranking { return m.rank }

@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// FuzzParseCLF asserts the parser never panics and that any line it
+// accepts re-marshals to something it accepts again with identical
+// fields (parse/print stability).
+func FuzzParseCLF(f *testing.F) {
+	f.Add(`199.72.81.55 - - [01/Jul/1995:00:00:01 -0400] "GET /history/apollo/ HTTP/1.0" 200 6245`)
+	f.Add(`h - - [01/Jul/1995:00:00:01 -0400] "GET / HTTP/1.0" 304 -`)
+	f.Add(`h - - [01/Jul/1995:00:00:01 -0400] "/bare-url" 200 1`)
+	f.Add("")
+	f.Add(`x [ "`)
+	f.Fuzz(func(t *testing.T, line string) {
+		r, err := ParseCLF(line)
+		if err != nil {
+			return
+		}
+		again, err := ParseCLF(MarshalCLF(r))
+		if err != nil {
+			t.Fatalf("re-parse of accepted record failed: %v (from %q)", err, line)
+		}
+		if again.Client != r.Client || again.URL != r.URL ||
+			again.Status != r.Status || again.Bytes != r.Bytes ||
+			!again.Time.Equal(r.Time) {
+			t.Fatalf("parse/print not stable: %+v vs %+v", r, again)
+		}
+	})
+}
+
+// TestParseCLFNeverPanicsProperty drives the parser with random byte
+// soup; any outcome but a panic is acceptable.
+func TestParseCLFNeverPanicsProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ParseCLF panicked on %q: %v", raw, r)
+			}
+		}()
+		ParseCLF(string(raw))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReadCLFGarbageStream checks that a stream of garbage lines is
+// skipped without error.
+func TestReadCLFGarbageStream(t *testing.T) {
+	garbage := strings.Repeat("not a log line at all\n\"[]\" - -\n", 50)
+	tr, skipped, err := ReadCLF(strings.NewReader(garbage))
+	if err != nil {
+		t.Fatalf("ReadCLF: %v", err)
+	}
+	if len(tr.Records) != 0 || skipped != 100 {
+		t.Errorf("records=%d skipped=%d", len(tr.Records), skipped)
+	}
+}

@@ -1,0 +1,230 @@
+// Package trace defines the HTTP access-log record model used throughout
+// the simulator, together with parsing and encoding of the Apache Common
+// Log Format (the format of the NASA-KSC and UCB-CS traces evaluated in
+// the paper), MIME-kind classification, and day-window slicing.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Record is one HTTP request as it appears in a server access log.
+type Record struct {
+	// Client identifies the requesting host. Real logs carry an IP or a
+	// resolved hostname; the synthetic generator carries a stable client
+	// label. A single Client may be a browser or a proxy aggregating
+	// many browsers (classified by internal/session).
+	Client string
+	// Time is the request timestamp. Log timestamps have one-second
+	// resolution; generated traces preserve that granularity.
+	Time time.Time
+	// Method is the HTTP method, almost always "GET" in these traces.
+	Method string
+	// URL is the requested path, already stripped of protocol and host.
+	URL string
+	// Status is the HTTP response status code.
+	Status int
+	// Bytes is the size of the response body in bytes.
+	Bytes int64
+}
+
+// Kind classifies a URL by the role it plays in a page view.
+type Kind int
+
+const (
+	// KindOther covers everything that is neither an HTML document nor
+	// an embeddable image: scripts, archives, directory listings, etc.
+	KindOther Kind = iota
+	// KindHTML marks an HTML document (.html, .htm, .shtml, or a
+	// path ending in "/" which servers resolve to an index document).
+	KindHTML
+	// KindImage marks an embeddable image type from the list in §2.2 of
+	// the paper.
+	KindImage
+)
+
+// String returns a short human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindHTML:
+		return "html"
+	case KindImage:
+		return "image"
+	default:
+		return "other"
+	}
+}
+
+// htmlExts and imageExts follow §2.2 of the paper verbatim.
+var htmlExts = map[string]bool{
+	".html": true, ".htm": true, ".shtml": true,
+}
+
+var imageExts = map[string]bool{
+	".gif": true, ".xbm": true, ".jpg": true, ".jpeg": true,
+	".gif89": true, ".tif": true, ".tiff": true, ".bmp": true,
+	".ief": true, ".jpe": true, ".ras": true, ".pnm": true,
+	".pgm": true, ".ppm": true, ".rgb": true, ".xpm": true,
+	".xwd": true, ".pcx": true, ".pbm": true, ".pic": true,
+}
+
+// Classify reports the Kind of a URL path based on its extension.
+// Query strings and fragments are ignored. A trailing slash (or an
+// empty path) counts as HTML because servers serve index documents
+// for directory URLs.
+func Classify(url string) Kind {
+	path := url
+	if i := strings.IndexAny(path, "?#"); i >= 0 {
+		path = path[:i]
+	}
+	if path == "" || strings.HasSuffix(path, "/") {
+		return KindHTML
+	}
+	slash := strings.LastIndexByte(path, '/')
+	base := path[slash+1:]
+	dot := strings.LastIndexByte(base, '.')
+	if dot < 0 {
+		return KindOther
+	}
+	ext := strings.ToLower(base[dot:])
+	switch {
+	case htmlExts[ext]:
+		return KindHTML
+	case imageExts[ext]:
+		return KindImage
+	default:
+		return KindOther
+	}
+}
+
+// Kind returns the classification of the record's URL.
+func (r Record) Kind() Kind { return Classify(r.URL) }
+
+// Day returns the zero-based day index of the record relative to epoch.
+// Records sharing a Day index belong to the same 24-hour window; the
+// paper's experiments slice traces into such day files.
+func (r Record) Day(epoch time.Time) int {
+	d := r.Time.Sub(epoch)
+	if d < 0 {
+		// Records before the epoch land on negative day indices so the
+		// caller can detect and reject them.
+		return int((d - 24*time.Hour + time.Nanosecond) / (24 * time.Hour))
+	}
+	return int(d / (24 * time.Hour))
+}
+
+// Trace is an ordered collection of log records plus the epoch that
+// anchors day numbering. Records are expected to be sorted by Time;
+// Sort restores that invariant after any mutation.
+type Trace struct {
+	Epoch   time.Time
+	Records []Record
+}
+
+// Sort orders records by time, breaking ties by client then URL so that
+// ordering is deterministic.
+func (t *Trace) Sort() {
+	sort.SliceStable(t.Records, func(i, j int) bool {
+		a, b := t.Records[i], t.Records[j]
+		if !a.Time.Equal(b.Time) {
+			return a.Time.Before(b.Time)
+		}
+		if a.Client != b.Client {
+			return a.Client < b.Client
+		}
+		return a.URL < b.URL
+	})
+}
+
+// Days returns the number of day windows spanned by the trace: one more
+// than the maximum day index, or zero for an empty trace.
+func (t *Trace) Days() int {
+	max := -1
+	for _, r := range t.Records {
+		if d := r.Day(t.Epoch); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// Window returns the sub-trace containing records with day index in
+// [fromDay, toDay). The records slice aliases the original storage.
+func (t *Trace) Window(fromDay, toDay int) *Trace {
+	lo := t.Epoch.Add(time.Duration(fromDay) * 24 * time.Hour)
+	hi := t.Epoch.Add(time.Duration(toDay) * 24 * time.Hour)
+	start := sort.Search(len(t.Records), func(i int) bool {
+		return !t.Records[i].Time.Before(lo)
+	})
+	end := sort.Search(len(t.Records), func(i int) bool {
+		return !t.Records[i].Time.Before(hi)
+	})
+	return &Trace{Epoch: t.Epoch, Records: t.Records[start:end]}
+}
+
+// Filter returns a new trace holding only records for which keep
+// returns true. The epoch is preserved.
+func (t *Trace) Filter(keep func(Record) bool) *Trace {
+	out := &Trace{Epoch: t.Epoch}
+	for _, r := range t.Records {
+		if keep(r) {
+			out.Records = append(out.Records, r)
+		}
+	}
+	return out
+}
+
+// Clients returns the sorted set of distinct client identifiers.
+func (t *Trace) Clients() []string {
+	seen := make(map[string]bool)
+	for _, r := range t.Records {
+		seen[r.Client] = true
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// URLs returns the sorted set of distinct URLs.
+func (t *Trace) URLs() []string {
+	seen := make(map[string]bool)
+	for _, r := range t.Records {
+		seen[r.URL] = true
+	}
+	out := make([]string, 0, len(seen))
+	for u := range seen {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks basic trace invariants: non-empty client and URL
+// fields, non-negative sizes, records sorted by time, and no record
+// before the epoch. It returns a descriptive error for the first
+// violation found.
+func (t *Trace) Validate() error {
+	var prev time.Time
+	for i, r := range t.Records {
+		switch {
+		case r.Client == "":
+			return fmt.Errorf("trace: record %d has empty client", i)
+		case r.URL == "":
+			return fmt.Errorf("trace: record %d has empty URL", i)
+		case r.Bytes < 0:
+			return fmt.Errorf("trace: record %d has negative size %d", i, r.Bytes)
+		case r.Time.Before(t.Epoch):
+			return fmt.Errorf("trace: record %d at %v precedes epoch %v", i, r.Time, t.Epoch)
+		case i > 0 && r.Time.Before(prev):
+			return fmt.Errorf("trace: record %d at %v out of order (previous %v)", i, r.Time, prev)
+		}
+		prev = r.Time
+	}
+	return nil
+}
