@@ -92,6 +92,7 @@ type Model struct {
 
 var _ markov.Predictor = (*Model)(nil)
 var _ markov.UtilizationReporter = (*Model)(nil)
+var _ markov.UsageRecorder = (*Model)(nil)
 
 // New returns an empty popularity-based model that grades URLs with
 // grades (typically a *popularity.Ranking built from the training
@@ -210,7 +211,7 @@ func (m *Model) Predict(context []string) []markov.Prediction {
 	var out []markov.Prediction
 	if n, order := m.tree.LongestMatch(context); n != nil {
 		m.tree.MarkPath(context[len(context)-order:])
-		out = markov.PredictAt(n, thr, order)
+		out = m.tree.PredictFrom(n, thr, order)
 	}
 	cur := context[len(context)-1]
 	if root := m.tree.Root.Child(cur); root != nil && !m.cfg.DisableLinks {
@@ -328,6 +329,13 @@ func (m *Model) Utilization() float64 { return m.tree.Utilization() }
 
 // ResetUsage clears utilization marks.
 func (m *Model) ResetUsage() { m.tree.ResetUsage() }
+
+// SetUsageRecording attaches or detaches prediction-time usage marking;
+// serving paths detach it so Predict on a published model is read-only.
+func (m *Model) SetUsageRecording(on bool) { m.tree.SetUsageRecording(on) }
+
+// UsageRecording reports whether usage marking is enabled.
+func (m *Model) UsageRecording() bool { return m.tree.UsageRecording() }
 
 // Tree exposes the underlying prediction tree for diagnostics.
 func (m *Model) Tree() *markov.Tree { return m.tree }

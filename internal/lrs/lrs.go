@@ -61,6 +61,7 @@ type Model struct {
 
 var _ markov.Predictor = (*Model)(nil)
 var _ markov.UtilizationReporter = (*Model)(nil)
+var _ markov.UsageRecorder = (*Model)(nil)
 
 // New returns an empty LRS model.
 func New(cfg Config) *Model {
@@ -101,6 +102,7 @@ func (m *Model) rebuild() {
 		}
 	}
 	copyKept(m.full.Root, out.Root)
+	out.SetUsageRecording(m.pruned.UsageRecording())
 	m.pruned = out
 }
 
@@ -114,7 +116,7 @@ func (m *Model) Predict(context []string) []markov.Prediction {
 		return nil
 	}
 	m.pruned.MarkPath(context[len(context)-order:])
-	return markov.PredictAt(n, m.cfg.threshold(), order)
+	return m.pruned.PredictFrom(n, m.cfg.threshold(), order)
 }
 
 // NodeCount reports the storage requirement of the repeating-only tree,
@@ -137,6 +139,18 @@ func (m *Model) ResetUsage() {
 	m.rebuild()
 	m.pruned.ResetUsage()
 }
+
+// SetUsageRecording attaches or detaches prediction-time usage marking.
+// Detaching also materializes the lazily-rebuilt pruned tree, so that
+// subsequent Predict calls on the published model perform no writes at
+// all and are safe for unsynchronized concurrent use.
+func (m *Model) SetUsageRecording(on bool) {
+	m.rebuild()
+	m.pruned.SetUsageRecording(on)
+}
+
+// UsageRecording reports whether usage marking is enabled.
+func (m *Model) UsageRecording() bool { return m.pruned.UsageRecording() }
 
 // Patterns returns the longest repeating subsequences currently stored:
 // every root-to-leaf path of the repeating-only tree, with the leaf's

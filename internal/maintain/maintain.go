@@ -5,13 +5,20 @@
 // window, and scheduled rebuilds that produce a fresh predictor from
 // the window's contents.
 //
-// The Maintainer is safe for concurrent use: request-serving goroutines
-// call Observe and Predictor while a rebuild runs.
+// The Maintainer is safe for concurrent use. Each rebuild constructs
+// and trains a fresh model off to the side and then publishes it as an
+// immutable snapshot through an atomic pointer: request-serving
+// goroutines call Observe and Predictor while a rebuild runs, and
+// predictions on a published model are read-only (the maintainer
+// detaches the model's usage recording before publishing — see
+// markov.UsageRecorder). A published model is never trained or mutated
+// again; the next rebuild swaps in a whole new one.
 package maintain
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pbppm/internal/markov"
@@ -44,14 +51,21 @@ func (c Config) window() time.Duration {
 	return c.Window
 }
 
+// predictorCell boxes the published model so an interface value can sit
+// behind an atomic.Pointer.
+type predictorCell struct{ p markov.Predictor }
+
 // Maintainer keeps the sliding session window and the current model.
 type Maintainer struct {
 	cfg Config
 
 	mu       sync.RWMutex
-	sessions []session.Session // ordered by start time
-	current  markov.Predictor
-	rebuilds int
+	sessions []session.Session // roughly ordered by start time
+
+	// current is the published model snapshot, swapped whole by Rebuild
+	// and read lock-free by Predictor.
+	current  atomic.Pointer[predictorCell]
+	rebuilds atomic.Int64
 }
 
 // New returns an empty maintainer. It returns an error on a nil
@@ -63,9 +77,8 @@ func New(cfg Config) (*Maintainer, error) {
 	return &Maintainer{cfg: cfg}, nil
 }
 
-// Observe appends a completed session to the window. Sessions are
-// expected in roughly chronological order (the trimming scan assumes
-// it); exact ordering is not required.
+// Observe appends a completed session to the window. Sessions may
+// arrive in any order; trimming does not assume chronological arrival.
 func (m *Maintainer) Observe(s session.Session) {
 	if s.Len() == 0 {
 		return
@@ -84,41 +97,49 @@ func (m *Maintainer) WindowSize() int {
 
 // Rebuilds reports how many rebuilds have completed.
 func (m *Maintainer) Rebuilds() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.rebuilds
+	return int(m.rebuilds.Load())
 }
 
-// Predictor returns the current model, or nil before the first
-// rebuild. The returned model is shared: predictions are safe, further
-// training is the maintainer's job alone.
+// Predictor returns the current model snapshot, or nil before the
+// first rebuild. The snapshot is immutable: predictions on it are
+// read-only and safe for unsynchronized concurrent use (its usage
+// recording was detached at publish time), and it is never trained
+// again — a rebuild publishes a fresh model instead of mutating this
+// one.
 func (m *Maintainer) Predictor() markov.Predictor {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.current
+	if c := m.current.Load(); c != nil {
+		return c.p
+	}
+	return nil
 }
 
 // Rebuild trims the window to cfg.Window ending at now, builds the
 // ranking, constructs a fresh model through the factory, trains it on
-// the window, runs its space optimization, and installs it. It returns
-// the installed predictor.
+// the window, runs its space optimization, detaches its usage
+// recording, and publishes it atomically. It returns the installed
+// predictor.
 //
-// The expensive training runs outside the write lock: Observe and
-// Predictor stay responsive during a rebuild.
+// The expensive training runs outside any lock: Observe, Predictor,
+// and the serving path stay responsive during a rebuild.
 func (m *Maintainer) Rebuild(now time.Time) markov.Predictor {
 	cutoff := now.Add(-m.cfg.window())
 
-	// Snapshot and trim under the lock.
+	// Snapshot and trim under the lock. Sessions may have been observed
+	// out of order, so filter the whole window rather than scanning an
+	// expired prefix.
 	m.mu.Lock()
-	keepFrom := 0
-	for keepFrom < len(m.sessions) && m.sessions[keepFrom].Start().Before(cutoff) {
-		keepFrom++
+	kept := m.sessions[:0]
+	for _, s := range m.sessions {
+		if !s.Start().Before(cutoff) {
+			kept = append(kept, s)
+		}
 	}
-	if keepFrom > 0 {
-		m.sessions = append([]session.Session(nil), m.sessions[keepFrom:]...)
+	for i := len(kept); i < len(m.sessions); i++ {
+		m.sessions[i] = session.Session{} // release trimmed views to the GC
 	}
-	window := make([]session.Session, len(m.sessions))
-	copy(window, m.sessions)
+	m.sessions = kept
+	window := make([]session.Session, len(kept))
+	copy(window, kept)
 	m.mu.Unlock()
 
 	rank := popularity.NewRanking()
@@ -134,11 +155,14 @@ func (m *Maintainer) Rebuild(now time.Time) markov.Predictor {
 	if opt, ok := model.(interface{ Optimize() int }); ok {
 		opt.Optimize()
 	}
+	// Detach usage recording so predictions on the published snapshot
+	// perform no writes; diagnostics can re-enable it explicitly.
+	if ur, ok := model.(markov.UsageRecorder); ok {
+		ur.SetUsageRecording(false)
+	}
 
-	m.mu.Lock()
-	m.current = model
-	m.rebuilds++
-	m.mu.Unlock()
+	m.current.Store(&predictorCell{p: model})
+	m.rebuilds.Add(1)
 	return model
 }
 

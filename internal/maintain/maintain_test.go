@@ -83,6 +83,49 @@ func TestWindowTrimming(t *testing.T) {
 	}
 }
 
+func TestWindowTrimmingOutOfOrder(t *testing.T) {
+	// Regression: the old prefix-scan trim stopped at the first fresh
+	// session, so an expired session observed after a fresh one survived
+	// the trim and kept training rebuilt models forever.
+	m, err := New(Config{Factory: pbFactory, Window: 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Observe(mkSession(30, "/fresh", "/new"))
+	m.Observe(mkSession(0, "/old", "/older")) // out of order: older arrives later
+	m.Observe(mkSession(32, "/fresh2", "/new2"))
+	model := m.Rebuild(epoch.Add(40 * time.Hour)) // cutoff at hour 16
+
+	if m.WindowSize() != 2 {
+		t.Errorf("window after trim = %d, want 2", m.WindowSize())
+	}
+	if got := model.Predict([]string{"/old"}); len(got) != 0 {
+		t.Errorf("expired out-of-order session still predicted: %+v", got)
+	}
+	if got := model.Predict([]string{"/fresh"}); len(got) == 0 {
+		t.Error("fresh session observed before the stale one was lost")
+	}
+	if got := model.Predict([]string{"/fresh2"}); len(got) == 0 {
+		t.Error("fresh session observed after the stale one was lost")
+	}
+}
+
+func TestRebuildDetachesUsageRecording(t *testing.T) {
+	m, err := New(Config{Factory: pbFactory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Observe(mkSession(0, "/home", "/news"))
+	model := m.Rebuild(epoch.Add(time.Hour))
+	ur, ok := model.(markov.UsageRecorder)
+	if !ok {
+		t.Fatal("PB-PPM model does not implement markov.UsageRecorder")
+	}
+	if ur.UsageRecording() {
+		t.Error("published model still records usage marks")
+	}
+}
+
 func TestPopularityTracksWindow(t *testing.T) {
 	m, err := New(Config{Factory: func(rank *popularity.Ranking) markov.Predictor {
 		// Capture the ranking the factory received via closure check.
@@ -131,6 +174,47 @@ func TestConcurrentObserveAndRebuild(t *testing.T) {
 	}
 	if m.Predictor() == nil {
 		t.Error("no model installed")
+	}
+}
+
+// TestConcurrentPredictOnSharedModel exercises the contract the
+// maintainer documents: many goroutines predicting through Predictor()
+// while rebuilds swap the snapshot underneath them. Before the serving
+// path became read-only this raced on the tree's usage marks; run with
+// -race to verify.
+func TestConcurrentPredictOnSharedModel(t *testing.T) {
+	m, err := New(Config{Factory: pbFactory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		m.Observe(mkSession(i, "/home", "/news", "/news/today"))
+	}
+	m.Rebuild(epoch.Add(time.Hour))
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if p := m.Predictor(); p != nil {
+					p.Predict([]string{"/home", "/news"})
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			m.Observe(mkSession(100+i, "/home", "/news"))
+			m.Rebuild(epoch.Add(200 * time.Hour))
+		}
+	}()
+	wg.Wait()
+	if m.Predictor() == nil {
+		t.Fatal("no model published")
 	}
 }
 

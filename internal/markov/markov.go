@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Node is one URL occurrence context in a prediction tree. Count is the
@@ -21,8 +22,9 @@ type Node struct {
 
 	// used records that a prediction-phase lookup reached this node or
 	// predicted it; the path-utilization metric (Figure 2, right) counts
-	// leaves with used set.
-	used bool
+	// leaves with used set. It is atomic so concurrent Predict calls on
+	// a shared tree never race on the mark.
+	used atomic.Bool
 }
 
 // Child returns the child for url, or nil.
@@ -44,11 +46,12 @@ func (n *Node) EnsureChild(url string) *Node {
 	return c
 }
 
-// MarkUsed flags the node as touched by a prediction.
-func (n *Node) MarkUsed() { n.used = true }
+// MarkUsed flags the node as touched by a prediction. It is safe to
+// call from concurrent predictions.
+func (n *Node) MarkUsed() { n.used.Store(true) }
 
 // Used reports whether the node has been touched by a prediction.
-func (n *Node) Used() bool { return n.used }
+func (n *Node) Used() bool { return n.used.Load() }
 
 // IsLeaf reports whether the node has no children.
 func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
@@ -71,9 +74,15 @@ type Predictor interface {
 	// Name identifies the model in reports ("PPM", "LRS-PPM", "PB-PPM").
 	Name() string
 	// TrainSequence folds one session's URL sequence into the model.
+	// Training mutates the model and must not run concurrently with
+	// other methods.
 	TrainSequence(seq []string)
 	// Predict returns prefetch candidates given the session context so
-	// far (oldest first; the last element is the current click).
+	// far (oldest first; the last element is the current click). Once
+	// training has ceased, Predict is safe for concurrent use: with
+	// usage recording enabled it writes only atomic usage marks, and
+	// with recording detached (see UsageRecorder) it performs no writes
+	// at all.
 	Predict(context []string) []Prediction
 	// NodeCount reports the model's storage requirement in URL nodes,
 	// the paper's space metric.
@@ -94,17 +103,43 @@ type UtilizationReporter interface {
 	ResetUsage()
 }
 
+// UsageRecorder is implemented by models whose prediction-time usage
+// recording can be detached. Publishing paths (the HTTP server, the
+// maintenance loop) disable recording so that Predict on a shared,
+// published model performs no writes at all; the simulator and
+// diagnostics keep it enabled (the default) to compute the paper's
+// path-utilization metric.
+type UsageRecorder interface {
+	// SetUsageRecording enables or disables prediction-time usage marks.
+	SetUsageRecording(on bool)
+	// UsageRecording reports whether usage marks are being recorded.
+	UsageRecording() bool
+}
+
 // Tree is a counted prediction trie under a pseudo-root. The pseudo-root
 // itself carries the number of branch insertions and is excluded from
 // node counts.
 type Tree struct {
 	Root *Node
+
+	// recording gates prediction-time usage marking (MarkPath,
+	// PredictFrom). NewTree enables it; serving paths detach it so
+	// predictions on published trees are genuinely read-only.
+	recording atomic.Bool
 }
 
-// NewTree returns an empty tree.
+// NewTree returns an empty tree with usage recording enabled.
 func NewTree() *Tree {
-	return &Tree{Root: &Node{Children: make(map[string]*Node)}}
+	t := &Tree{Root: &Node{Children: make(map[string]*Node)}}
+	t.recording.Store(true)
+	return t
 }
+
+// SetUsageRecording enables or disables prediction-time usage marking.
+func (t *Tree) SetUsageRecording(on bool) { t.recording.Store(on) }
+
+// UsageRecording reports whether prediction-time usage marking is on.
+func (t *Tree) UsageRecording() bool { return t.recording.Load() }
 
 // Insert adds seq as a branch from the pseudo-root, incrementing counts
 // by weight along the path. maxDepth > 0 truncates the branch to that
@@ -159,8 +194,20 @@ func (t *Tree) LongestMatch(ctx []string) (*Node, int) {
 // PredictAt returns the children of n whose conditional probability
 // (child count over n's count) is at least threshold, ordered by
 // descending probability with URL tie-break for determinism. order is
-// recorded on each prediction. Predicted children are marked used.
+// recorded on each prediction. Predicted children are marked used
+// (atomically, so concurrent callers never race).
 func PredictAt(n *Node, threshold float64, order int) []Prediction {
+	return predictAt(n, threshold, order, true)
+}
+
+// PredictFrom is PredictAt honoring the tree's usage-recording gate:
+// when recording is detached the candidates are computed without any
+// writes, keeping predictions on published trees read-only.
+func (t *Tree) PredictFrom(n *Node, threshold float64, order int) []Prediction {
+	return predictAt(n, threshold, order, t.recording.Load())
+}
+
+func predictAt(n *Node, threshold float64, order int, mark bool) []Prediction {
 	if n == nil || n.Count == 0 {
 		return nil
 	}
@@ -168,7 +215,9 @@ func PredictAt(n *Node, threshold float64, order int) []Prediction {
 	for _, c := range n.Children {
 		p := float64(c.Count) / float64(n.Count)
 		if p >= threshold {
-			c.MarkUsed()
+			if mark {
+				c.MarkUsed()
+			}
 			out = append(out, Prediction{URL: c.URL, Probability: p, Order: order})
 		}
 	}
@@ -234,7 +283,7 @@ func (t *Tree) Utilization() float64 {
 	walk = func(n *Node) {
 		if len(n.Children) == 0 {
 			leaves++
-			if n.used {
+			if n.used.Load() {
 				used++
 			}
 			return
@@ -259,7 +308,7 @@ func (t *Tree) Utilization() float64 {
 func (t *Tree) ResetUsage() {
 	var walk func(n *Node)
 	walk = func(n *Node) {
-		n.used = false
+		n.used.Store(false)
 		for _, c := range n.Children {
 			walk(c)
 		}
@@ -268,9 +317,13 @@ func (t *Tree) ResetUsage() {
 }
 
 // MarkPath marks every node along the exact path seq as used. Unknown
-// paths are ignored. Prediction code calls this for the matched context
-// so that interior usage is visible in diagnostics.
+// paths are ignored, as is the whole call when usage recording is
+// detached. Prediction code calls this for the matched context so that
+// interior usage is visible in diagnostics.
 func (t *Tree) MarkPath(seq []string) {
+	if !t.recording.Load() {
+		return
+	}
 	n := t.Root
 	for _, u := range seq {
 		n = n.Child(u)

@@ -48,6 +48,7 @@ type Model struct {
 
 var _ markov.Predictor = (*Model)(nil)
 var _ markov.UtilizationReporter = (*Model)(nil)
+var _ markov.UsageRecorder = (*Model)(nil)
 
 // New returns an empty standard PPM model.
 func New(cfg Config) *Model {
@@ -90,7 +91,7 @@ func (m *Model) Predict(context []string) []markov.Prediction {
 		return nil
 	}
 	m.tree.MarkPath(ctx[len(ctx)-order:])
-	return markov.PredictAt(n, m.cfg.threshold(), order)
+	return m.tree.PredictFrom(n, m.cfg.threshold(), order)
 }
 
 // predictBlended combines candidates across every matching order. A
@@ -108,7 +109,7 @@ func (m *Model) predictBlended(ctx []string) []markov.Prediction {
 		order := len(ctx) - i
 		m.tree.MarkPath(ctx[i:])
 		confidence := 1 - 1/(1+float64(n.Count))
-		for _, p := range markov.PredictAt(n, 0, order) {
+		for _, p := range m.tree.PredictFrom(n, 0, order) {
 			p.Probability *= confidence
 			if b, ok := best[p.URL]; !ok || p.Probability > b.Probability {
 				best[p.URL] = p
@@ -138,6 +139,13 @@ func (m *Model) Utilization() float64 { return m.tree.Utilization() }
 
 // ResetUsage clears utilization marks.
 func (m *Model) ResetUsage() { m.tree.ResetUsage() }
+
+// SetUsageRecording attaches or detaches prediction-time usage marking;
+// serving paths detach it so Predict on a published model is read-only.
+func (m *Model) SetUsageRecording(on bool) { m.tree.SetUsageRecording(on) }
+
+// UsageRecording reports whether usage marking is enabled.
+func (m *Model) UsageRecording() bool { return m.tree.UsageRecording() }
 
 // Tree exposes the underlying prediction tree for diagnostics and
 // persistence.

@@ -13,10 +13,11 @@ import (
 	"io"
 	"net/http"
 	"strconv"
-	"strings"
 	"sync"
+	"sync/atomic"
 
 	"pbppm/internal/cache"
+	"pbppm/internal/markov"
 	"pbppm/internal/server"
 )
 
@@ -65,6 +66,18 @@ func (s Stats) HitRatio() float64 {
 	return float64(s.CacheHits+s.PrefetchHits) / float64(s.Requests)
 }
 
+// counters holds the live atomic counters behind Stats, so statistics
+// never contend with (or require) the cache lock.
+type counters struct {
+	requests      atomic.Int64
+	cacheHits     atomic.Int64
+	prefetchHits  atomic.Int64
+	misses        atomic.Int64
+	prefetched    atomic.Int64
+	prefetchError atomic.Int64
+	upstreamError atomic.Int64
+}
+
 // Proxy is an http.Handler implementing the prefetching proxy.
 type Proxy struct {
 	cfg  Config
@@ -73,7 +86,7 @@ type Proxy struct {
 	mu     sync.Mutex
 	cache  cache.Policy
 	bodies map[string][]byte // cached document bodies
-	stats  Stats
+	stats  counters
 	wg     sync.WaitGroup
 }
 
@@ -107,9 +120,15 @@ func New(cfg Config) (*Proxy, error) {
 
 // Stats returns a snapshot of the counters.
 func (p *Proxy) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		Requests:      p.stats.requests.Load(),
+		CacheHits:     p.stats.cacheHits.Load(),
+		PrefetchHits:  p.stats.prefetchHits.Load(),
+		Misses:        p.stats.misses.Load(),
+		Prefetched:    p.stats.prefetched.Load(),
+		PrefetchError: p.stats.prefetchError.Load(),
+		UpstreamError: p.stats.upstreamError.Load(),
+	}
 }
 
 // Wait drains in-flight background prefetches.
@@ -123,15 +142,15 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	url := r.URL.Path
 
+	p.stats.requests.Add(1)
 	p.mu.Lock()
-	p.stats.Requests++
 	if ok, prefetched := p.cache.Get(url); ok {
 		body := p.bodies[url]
 		if prefetched {
-			p.stats.PrefetchHits++
+			p.stats.prefetchHits.Add(1)
 			p.cache.MarkDemand(url)
 		} else {
-			p.stats.CacheHits++
+			p.stats.cacheHits.Add(1)
 		}
 		p.mu.Unlock()
 		w.Header().Set("X-Proxy-Cache", "HIT")
@@ -139,25 +158,25 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		w.Write(body) //nolint:errcheck // client disconnects are fine
 		return
 	}
-	p.stats.Misses++
+	p.stats.misses.Add(1)
 	p.mu.Unlock()
 
 	body, hints, err := p.fetch(url, r.Header.Get(server.HeaderClientID), false)
 	if err != nil {
-		p.mu.Lock()
-		p.stats.UpstreamError++
-		p.mu.Unlock()
+		p.stats.upstreamError.Add(1)
 		http.Error(w, fmt.Sprintf("upstream: %v", err), http.StatusBadGateway)
 		return
 	}
 	p.store(url, body, false)
 
 	if p.cfg.ForwardHints && len(hints) > 0 {
-		parts := make([]string, len(hints))
+		// Re-encode through FormatHints so URLs stay escaped and the
+		// downstream client sees the origin's probabilities.
+		fw := make([]markov.Prediction, len(hints))
 		for i, h := range hints {
-			parts[i] = h.URL
+			fw[i] = markov.Prediction{URL: h.URL, Probability: h.Probability}
 		}
-		w.Header().Set(server.HeaderPrefetch, strings.Join(parts, ", "))
+		w.Header().Set(server.HeaderPrefetch, server.FormatHints(fw))
 	}
 	if !p.cfg.NoFollowHints {
 		for _, h := range hints {
@@ -185,9 +204,7 @@ func (p *Proxy) prefetch(url string) {
 
 	body, _, err := p.fetch(url, "", true)
 	if err != nil {
-		p.mu.Lock()
-		p.stats.PrefetchError++
-		p.mu.Unlock()
+		p.stats.prefetchError.Add(1)
 		return
 	}
 	if int64(len(body)) > p.cfg.MaxPrefetchBytes {
@@ -196,7 +213,7 @@ func (p *Proxy) prefetch(url string) {
 	p.mu.Lock()
 	if !p.cache.Contains(url) {
 		p.storeLocked(url, body, true)
-		p.stats.Prefetched++
+		p.stats.prefetched.Add(1)
 	}
 	p.mu.Unlock()
 }
@@ -254,9 +271,12 @@ func (p *Proxy) fetch(url, clientID string, isPrefetch bool) (body []byte, hints
 		return nil, nil, fmt.Errorf("proxy: reading %s: %w", url, err)
 	}
 	for _, h := range server.ParseHints(resp.Header.Get(server.HeaderPrefetch)) {
-		hints = append(hints, hintT{URL: h.URL})
+		hints = append(hints, hintT{URL: h.URL, Probability: h.Probability})
 	}
 	return body, hints, nil
 }
 
-type hintT struct{ URL string }
+type hintT struct {
+	URL         string
+	Probability float64
+}

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pbppm/internal/markov"
+)
+
+// The X-Prefetch header is a comma-separated hint list in which ';'
+// separates a URL from its parameters: "url;p=0.62, url2;p=0.31".
+// URLs are percent-escaped so the two delimiter bytes (and '%' itself,
+// spaces, controls, and non-ASCII bytes) round-trip through the header
+// unharmed.
+
+const upperhex = "0123456789ABCDEF"
+
+// hintEscapeNeeded reports whether byte c would corrupt the hint-list
+// syntax or the header encoding if emitted raw.
+func hintEscapeNeeded(c byte) bool {
+	return c <= ' ' || c >= 0x7f || c == '%' || c == ',' || c == ';'
+}
+
+// escapeHintURL percent-escapes the bytes of u that collide with the
+// hint-list syntax.
+func escapeHintURL(u string) string {
+	needs := false
+	for i := 0; i < len(u); i++ {
+		if hintEscapeNeeded(u[i]) {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return u
+	}
+	var b strings.Builder
+	b.Grow(len(u) + 8)
+	for i := 0; i < len(u); i++ {
+		c := u[i]
+		if hintEscapeNeeded(c) {
+			b.WriteByte('%')
+			b.WriteByte(upperhex[c>>4])
+			b.WriteByte(upperhex[c&0xf])
+		} else {
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// unescapeHintURL inverts escapeHintURL. Malformed percent triples are
+// kept literally so legacy unescaped headers still parse.
+func unescapeHintURL(u string) string {
+	if !strings.Contains(u, "%") {
+		return u
+	}
+	var b strings.Builder
+	b.Grow(len(u))
+	for i := 0; i < len(u); i++ {
+		c := u[i]
+		if c == '%' && i+2 < len(u) {
+			if hi, ok1 := unhex(u[i+1]); ok1 {
+				if lo, ok2 := unhex(u[i+2]); ok2 {
+					b.WriteByte(hi<<4 | lo)
+					i += 2
+					continue
+				}
+			}
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+func unhex(c byte) (byte, bool) {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0', true
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10, true
+	case 'A' <= c && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// FormatHints renders the X-Prefetch header value,
+// "url;p=0.62, url2;p=0.31", percent-escaping each URL.
+func FormatHints(hints []markov.Prediction) string {
+	parts := make([]string, len(hints))
+	for i, h := range hints {
+		parts[i] = fmt.Sprintf("%s;p=%.3f", escapeHintURL(h.URL), h.Probability)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ParseHints inverts FormatHints; malformed elements are skipped.
+func ParseHints(header string) []markov.Prediction {
+	if header == "" {
+		return nil
+	}
+	var out []markov.Prediction
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		url, rest, found := strings.Cut(part, ";")
+		p := markov.Prediction{URL: unescapeHintURL(strings.TrimSpace(url)), Probability: 0}
+		if found {
+			if v, ok := strings.CutPrefix(strings.TrimSpace(rest), "p="); ok {
+				if f, err := strconv.ParseFloat(v, 64); err == nil {
+					p.Probability = f
+				}
+			}
+		}
+		if p.URL != "" {
+			out = append(out, p)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Probability > out[j].Probability })
+	return out
+}

@@ -11,15 +11,24 @@
 // listing predicted URLs with probabilities, and a cooperating client
 // (see Client) fetches them into its cache, tagging those fetches with
 // X-Prefetch-Fetch so the server can keep demand statistics clean.
+//
+// # Concurrency
+//
+// The serving hot path is lock-free: the prediction model is published
+// as an immutable snapshot through an atomic pointer (swapped whole by
+// SetPredictor), Predict on a published model performs no writes (the
+// server detaches the model's usage recording on install), counters are
+// atomics, and per-client session contexts live in a sharded map so
+// concurrent clients never contend on one mutex. ServeHTTP never holds
+// any global lock across Predict or ContentStore.Lookup.
 package server
 
 import (
-	"fmt"
+	"net"
 	"net/http"
-	"sort"
 	"strconv"
-	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pbppm/internal/markov"
@@ -47,13 +56,16 @@ type Document struct {
 	ContentType string
 }
 
-// ContentStore resolves URLs to documents.
+// ContentStore resolves URLs to documents. Lookup is called
+// concurrently from request goroutines without any server lock held, so
+// implementations must be safe for concurrent reads.
 type ContentStore interface {
 	// Lookup returns the document for url; ok reports whether it exists.
 	Lookup(url string) (doc Document, ok bool)
 }
 
 // MapStore is a ContentStore backed by a map. The zero value is empty.
+// Like any Go map it is safe for concurrent reads once populated.
 type MapStore map[string]Document
 
 // Lookup implements ContentStore.
@@ -65,7 +77,9 @@ func (m MapStore) Lookup(url string) (Document, bool) {
 // Config parameterizes the server.
 type Config struct {
 	// Predictor serves prefetch hints; nil disables hinting until
-	// SetPredictor is called.
+	// SetPredictor is called. The server detaches the model's usage
+	// recording (markov.UsageRecorder) on install so the prediction hot
+	// path is read-only; re-enable it explicitly for diagnostics.
 	Predictor markov.Predictor
 	// MaxHints caps the hint list per response; zero selects 4.
 	MaxHints int
@@ -81,7 +95,7 @@ type Config struct {
 	// OnSessionEnd, if set, receives each completed access session (a
 	// client context closed by the idle rule or by ExpireSessions).
 	// The maintenance loop uses it to feed its sliding window. It is
-	// called without the server lock held and must not block for long.
+	// called without any server lock held and must not block for long.
 	OnSessionEnd func(client string, urls []string, last time.Time)
 }
 
@@ -122,19 +136,67 @@ type Stats struct {
 	SessionsStarted  int64
 }
 
+// counters holds the live atomic counters behind Stats.
+type counters struct {
+	demandRequests   atomic.Int64
+	prefetchRequests atomic.Int64
+	notFound         atomic.Int64
+	hintsIssued      atomic.Int64
+	sessionsStarted  atomic.Int64
+}
+
+// contextShards is the number of session-context shards. 64 keeps
+// contention negligible at any realistic GOMAXPROCS while costing only
+// a few kilobytes.
+const contextShards = 64
+
+// predictContextTail caps how many trailing session URLs are handed to
+// Predict per request. The paper's models match at most their maximum
+// branch height (7), and >95% of sessions have at most 9 clicks (§2.2),
+// so 16 loses nothing while bounding per-request work for clients that
+// never go idle.
+const predictContextTail = 16
+
+// contextShard is one slice of the per-client session map with its own
+// lock, so concurrent clients hash to different locks.
+type contextShard struct {
+	mu       sync.Mutex
+	contexts map[string]*clientContext
+}
+
+// rankShards is the number of popularity-count shards; URL counting is
+// the only per-request write shared by all clients, so it gets its own
+// sharding keyed by URL hash.
+const rankShards = 16
+
+// rankShard is one slice of the online popularity counts.
+type rankShard struct {
+	mu   sync.Mutex
+	rank *popularity.Ranking
+}
+
+// predictorCell boxes the published model so an interface value can sit
+// behind an atomic.Pointer.
+type predictorCell struct{ p markov.Predictor }
+
 // Server is an http.Handler serving a ContentStore with prefetch hints.
 type Server struct {
 	store ContentStore
 	cfg   Config
 
-	mu       sync.Mutex
-	pred     markov.Predictor
-	rank     *popularity.Ranking
-	contexts map[string]*clientContext
-	stats    Stats
+	// pred is the published prediction model, swapped whole and never
+	// mutated in place: the serving read path loads it without locks.
+	pred atomic.Pointer[predictorCell]
+
+	ranks [rankShards]rankShard
+
+	shards [contextShards]contextShard
+
+	stats counters
 }
 
-// clientContext is one client's open access session.
+// clientContext is one client's open access session, guarded by its
+// shard's lock.
 type clientContext struct {
 	urls []string
 	last time.Time
@@ -146,55 +208,111 @@ func New(store ContentStore, cfg Config) *Server {
 	if store == nil {
 		panic("server: nil content store")
 	}
-	return &Server{
-		store:    store,
-		cfg:      cfg,
-		pred:     cfg.Predictor,
-		rank:     popularity.NewRanking(),
-		contexts: make(map[string]*clientContext),
+	s := &Server{
+		store: store,
+		cfg:   cfg,
 	}
+	for i := range s.ranks {
+		s.ranks[i].rank = popularity.NewRanking()
+	}
+	for i := range s.shards {
+		s.shards[i].contexts = make(map[string]*clientContext)
+	}
+	if cfg.Predictor != nil {
+		s.SetPredictor(cfg.Predictor)
+	}
+	return s
 }
 
-// SetPredictor atomically swaps the prediction model; the maintenance
-// loop calls this after a periodic rebuild.
+// SetPredictor atomically publishes a new prediction model; the
+// maintenance loop calls this after a periodic rebuild. In-flight
+// requests keep using the snapshot they loaded. The model's usage
+// recording is detached (markov.UsageRecorder) so predictions on the
+// published model are genuinely read-only; re-enable it explicitly if
+// you want utilization diagnostics from live traffic.
 func (s *Server) SetPredictor(p markov.Predictor) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.pred = p
+	if ur, ok := p.(markov.UsageRecorder); ok {
+		ur.SetUsageRecording(false)
+	}
+	s.pred.Store(&predictorCell{p: p})
 }
 
-// Ranking returns a snapshot copy of the server's online popularity
-// counts, suitable for building a fresh PB-PPM model.
+// predictor loads the current model snapshot, or nil.
+func (s *Server) predictor() markov.Predictor {
+	if c := s.pred.Load(); c != nil {
+		return c.p
+	}
+	return nil
+}
+
+// fnv1a is the 32-bit FNV-1a hash used to pick shards.
+func fnv1a(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// shard returns the context shard for a client.
+func (s *Server) shard(client string) *contextShard {
+	return &s.shards[fnv1a(client)%contextShards]
+}
+
+// observeRank counts one access to url in its popularity shard.
+func (s *Server) observeRank(url string) {
+	rs := &s.ranks[fnv1a(url)%rankShards]
+	rs.mu.Lock()
+	rs.rank.Observe(url, 1)
+	rs.mu.Unlock()
+}
+
+// Ranking returns a merged snapshot copy of the server's online
+// popularity counts, suitable for building a fresh PB-PPM model.
 func (s *Server) Ranking() *popularity.Ranking {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := popularity.NewRanking()
-	for _, u := range s.rank.Top(s.rank.Len()) {
-		out.Observe(u, s.rank.Count(u))
+	for i := range s.ranks {
+		rs := &s.ranks[i]
+		rs.mu.Lock()
+		for _, u := range rs.rank.Top(rs.rank.Len()) {
+			out.Observe(u, rs.rank.Count(u))
+		}
+		rs.mu.Unlock()
 	}
 	return out
 }
 
 // Stats returns a snapshot of the counters.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		DemandRequests:   s.stats.demandRequests.Load(),
+		PrefetchRequests: s.stats.prefetchRequests.Load(),
+		NotFound:         s.stats.notFound.Load(),
+		HintsIssued:      s.stats.hintsIssued.Load(),
+		SessionsStarted:  s.stats.sessionsStarted.Load(),
+	}
 }
 
-// clientOf extracts the client identity from a request.
+// clientOf extracts the client identity from a request. Remote
+// addresses are split with net.SplitHostPort so bracketed IPv6
+// addresses ("[::1]:4242") keep their full host; addresses without a
+// port are used as-is.
 func clientOf(r *http.Request) string {
 	if id := r.Header.Get(HeaderClientID); id != "" {
 		return id
 	}
-	host := r.RemoteAddr
-	if i := strings.LastIndexByte(host, ':'); i > 0 {
-		host = host[:i]
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil || host == "" {
+		return r.RemoteAddr
 	}
 	return host
 }
 
-// ServeHTTP serves the document and attaches prefetch hints.
+// ServeHTTP serves the document and attaches prefetch hints. It holds
+// no global lock: document lookup and prediction run on an immutable
+// model snapshot, and session bookkeeping touches only the client's
+// context shard.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -203,9 +321,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	url := r.URL.Path
 	doc, ok := s.store.Lookup(url)
 	if !ok {
-		s.mu.Lock()
-		s.stats.NotFound++
-		s.mu.Unlock()
+		s.stats.notFound.Add(1)
 		http.NotFound(w, r)
 		return
 	}
@@ -213,15 +329,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	isPrefetch := r.Header.Get(HeaderPrefetchFetch) != ""
 	var hints []markov.Prediction
 	if isPrefetch {
-		s.mu.Lock()
-		s.stats.PrefetchRequests++
-		s.mu.Unlock()
+		s.stats.prefetchRequests.Add(1)
 	} else {
 		hints = s.observeDemand(clientOf(r), url)
 	}
 
 	if len(hints) > 0 {
-		w.Header().Set(HeaderPrefetch, formatHints(hints))
+		w.Header().Set(HeaderPrefetch, FormatHints(hints))
 	}
 	ct := doc.ContentType
 	if ct == "" {
@@ -236,37 +350,51 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // observeDemand updates the client's session context, popularity, and
-// statistics, and computes the prefetch hints for this response.
+// statistics, and computes the prefetch hints for this response. Only
+// the client's context shard (and briefly the ranking mutex) is locked;
+// prediction and store lookups run lock-free on a context snapshot.
 func (s *Server) observeDemand(client, url string) []markov.Prediction {
 	now := s.cfg.now()
+	s.stats.demandRequests.Add(1)
+	s.observeRank(url)
+
+	sh := s.shard(client)
+	sh.mu.Lock()
+	ctx := sh.contexts[client]
 	var ended *clientContext
-	defer func() {
-		if ended != nil && s.cfg.OnSessionEnd != nil {
-			s.cfg.OnSessionEnd(client, ended.urls, ended.last)
-		}
-	}()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
-	s.stats.DemandRequests++
-	s.rank.Observe(url, 1)
-
-	ctx := s.contexts[client]
 	if ctx == nil || now.Sub(ctx.last) > s.cfg.idle() {
 		if ctx != nil {
 			ended = ctx
 		}
 		ctx = &clientContext{}
-		s.contexts[client] = ctx
-		s.stats.SessionsStarted++
+		sh.contexts[client] = ctx
+		s.stats.sessionsStarted.Add(1)
 	}
 	ctx.urls = append(ctx.urls, url)
 	ctx.last = now
+	// Snapshot the context tail so prediction runs without the shard
+	// lock (a concurrent request from the same client may append to
+	// ctx.urls). Only the tail is copied: every shipped model matches at
+	// most its branch height (≤ 7 URLs), so this keeps the hot path O(1)
+	// even for marathon sessions while the full session is still
+	// recorded for OnSessionEnd training.
+	tail := ctx.urls
+	if len(tail) > predictContextTail {
+		tail = tail[len(tail)-predictContextTail:]
+	}
+	snapshot := make([]string, len(tail))
+	copy(snapshot, tail)
+	sh.mu.Unlock()
 
-	if s.pred == nil {
+	if ended != nil && s.cfg.OnSessionEnd != nil {
+		s.cfg.OnSessionEnd(client, ended.urls, ended.last)
+	}
+
+	pred := s.predictor()
+	if pred == nil {
 		return nil
 	}
-	preds := s.pred.Predict(ctx.urls)
+	preds := pred.Predict(snapshot)
 	out := preds[:0]
 	for _, p := range preds {
 		if doc, ok := s.store.Lookup(p.URL); !ok || int64(len(doc.Body)) > s.cfg.maxHintBytes() {
@@ -277,13 +405,27 @@ func (s *Server) observeDemand(client, url string) []markov.Prediction {
 			break
 		}
 	}
-	s.stats.HintsIssued += int64(len(out))
+	s.stats.hintsIssued.Add(int64(len(out)))
 	return out
+}
+
+// contextURLs returns a copy of the client's open session context, or
+// nil when no session is open. It is a diagnostic and test hook.
+func (s *Server) contextURLs(client string) []string {
+	sh := s.shard(client)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ctx := sh.contexts[client]
+	if ctx == nil {
+		return nil
+	}
+	return append([]string(nil), ctx.urls...)
 }
 
 // ExpireSessions drops client contexts idle beyond the session window;
 // long-running servers call it periodically to bound memory. Expired
-// contexts are reported through OnSessionEnd.
+// contexts are reported through OnSessionEnd. Each shard is locked
+// independently, so expiry never stalls the whole server.
 func (s *Server) ExpireSessions() int {
 	now := s.cfg.now()
 	type endedCtx struct {
@@ -291,55 +433,21 @@ func (s *Server) ExpireSessions() int {
 		ctx    *clientContext
 	}
 	var ended []endedCtx
-	s.mu.Lock()
-	for c, ctx := range s.contexts {
-		if now.Sub(ctx.last) > s.cfg.idle() {
-			delete(s.contexts, c)
-			ended = append(ended, endedCtx{client: c, ctx: ctx})
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for c, ctx := range sh.contexts {
+			if now.Sub(ctx.last) > s.cfg.idle() {
+				delete(sh.contexts, c)
+				ended = append(ended, endedCtx{client: c, ctx: ctx})
+			}
 		}
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
 	if s.cfg.OnSessionEnd != nil {
 		for _, e := range ended {
 			s.cfg.OnSessionEnd(e.client, e.ctx.urls, e.ctx.last)
 		}
 	}
 	return len(ended)
-}
-
-// formatHints renders "url;p=0.62, url2;p=0.31".
-func formatHints(hints []markov.Prediction) string {
-	parts := make([]string, len(hints))
-	for i, h := range hints {
-		parts[i] = fmt.Sprintf("%s;p=%.3f", h.URL, h.Probability)
-	}
-	return strings.Join(parts, ", ")
-}
-
-// ParseHints inverts formatHints; malformed elements are skipped.
-func ParseHints(header string) []markov.Prediction {
-	if header == "" {
-		return nil
-	}
-	var out []markov.Prediction
-	for _, part := range strings.Split(header, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		url, rest, found := strings.Cut(part, ";")
-		p := markov.Prediction{URL: strings.TrimSpace(url), Probability: 0}
-		if found {
-			if v, ok := strings.CutPrefix(strings.TrimSpace(rest), "p="); ok {
-				if f, err := strconv.ParseFloat(v, 64); err == nil {
-					p.Probability = f
-				}
-			}
-		}
-		if p.URL != "" {
-			out = append(out, p)
-		}
-	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Probability > out[j].Probability })
-	return out
 }

@@ -159,9 +159,7 @@ func TestPrefetchRequestsExcludedFromContext(t *testing.T) {
 	if st.DemandRequests != 2 || st.PrefetchRequests != 1 {
 		t.Errorf("stats = %+v", st)
 	}
-	srv.mu.Lock()
-	ctx := srv.contexts["carol"].urls
-	srv.mu.Unlock()
+	ctx := srv.contextURLs("carol")
 	if strings.Join(ctx, " ") != "/home /sports" {
 		t.Errorf("context = %v", ctx)
 	}
@@ -189,9 +187,7 @@ func TestSessionIdleSplitsContext(t *testing.T) {
 	if st := srv.Stats(); st.SessionsStarted != 2 {
 		t.Errorf("SessionsStarted = %d, want 2", st.SessionsStarted)
 	}
-	srv.mu.Lock()
-	ctx := srv.contexts["dave"].urls
-	srv.mu.Unlock()
+	ctx := srv.contextURLs("dave")
 	if len(ctx) != 1 || ctx[0] != "/news" {
 		t.Errorf("context after idle split = %v", ctx)
 	}
@@ -233,6 +229,51 @@ func TestOnlineRankingAndSetPredictor(t *testing.T) {
 	resp.Body.Close()
 	if resp.Header.Get(HeaderPrefetch) == "" {
 		t.Error("no hints after SetPredictor")
+	}
+}
+
+func TestClientOf(t *testing.T) {
+	cases := map[string]string{
+		"127.0.0.1:9184":        "127.0.0.1",        // IPv4 with port
+		"[2001:db8::1]:4242":    "2001:db8::1",      // bracketed IPv6 with port
+		"[::1]:80":              "::1",              // loopback IPv6
+		"2001:db8::1":           "2001:db8::1",      // raw IPv6, no port: must not be truncated at the last colon
+		"localhost:8080":        "localhost",        // hostname with port
+		"@":                     "@",                // garbage passes through
+	}
+	for addr, want := range cases {
+		req := httptest.NewRequest(http.MethodGet, "/home", nil)
+		req.RemoteAddr = addr
+		if got := clientOf(req); got != want {
+			t.Errorf("clientOf(%q) = %q, want %q", addr, got, want)
+		}
+	}
+	// The explicit client header always wins.
+	req := httptest.NewRequest(http.MethodGet, "/home", nil)
+	req.RemoteAddr = "[::1]:80"
+	req.Header.Set(HeaderClientID, "alice")
+	if got := clientOf(req); got != "alice" {
+		t.Errorf("header client = %q, want alice", got)
+	}
+}
+
+func TestSetPredictorDetachesUsageRecording(t *testing.T) {
+	m := trainedPB()
+	if !m.UsageRecording() {
+		t.Fatal("fresh model should record usage")
+	}
+	srv := New(testStore(), Config{})
+	srv.SetPredictor(m)
+	if m.UsageRecording() {
+		t.Error("published model still records usage marks")
+	}
+	// The hot path stays functional on the read-only snapshot.
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, "/home", nil)
+	req.Header.Set(HeaderClientID, "ro")
+	srv.ServeHTTP(rec, req)
+	if rec.Header().Get(HeaderPrefetch) == "" {
+		t.Error("no hints from read-only model")
 	}
 }
 

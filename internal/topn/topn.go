@@ -59,7 +59,8 @@ func (m *Model) TrainSequence(seq []string) {
 // Predict returns the top-N popular documents with their relative
 // popularity as the (context-free) probability estimate. The current
 // document itself is excluded: pushing what was just served is free
-// but useless.
+// but useless. Predict only reads the ranking, so once training has
+// ceased it is safe for unsynchronized concurrent use.
 func (m *Model) Predict(context []string) []markov.Prediction {
 	cur := ""
 	if len(context) > 0 {

@@ -35,6 +35,12 @@ type Prediction = markov.Prediction
 // fraction of stored paths used by predictions (Figure 2, right).
 type UtilizationReporter = markov.UtilizationReporter
 
+// UsageRecorder is implemented by models whose prediction-time usage
+// marking can be detached; publishing paths (HTTPServer.SetPredictor,
+// Maintainer.Rebuild) detach it so Predict on a shared published model
+// performs no writes.
+type UsageRecorder = markov.UsageRecorder
+
 // Aliases to the concrete model types so callers can hold them
 // directly and reach model-specific methods (Optimize, Patterns, ...).
 type (
