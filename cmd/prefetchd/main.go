@@ -6,24 +6,37 @@
 //
 // Usage:
 //
-//	prefetchd [-addr :8080] [-profile nasa|ucbcs] [-rebuild 10m]
+//	prefetchd [-addr :8080] [-admin-addr :8081] [-profile nasa|ucbcs]
+//	          [-rebuild 10m] [-trace-sample N] [-log-level info]
+//
+// The admin listener serves /metrics (Prometheus text exposition),
+// /healthz, /debug/pprof, /debug/stats, and /debug/traces away from
+// end-user traffic. The process shuts down gracefully on SIGINT or
+// SIGTERM, draining in-flight requests and logging a final stats
+// snapshot.
 //
 // Try it:
 //
 //	curl -i -H 'X-Client-ID: me' http://localhost:8080/d0/page0000.html
+//	curl http://localhost:8081/metrics
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"pbppm/internal/core"
 	"pbppm/internal/maintain"
 	"pbppm/internal/markov"
+	"pbppm/internal/obs"
 	"pbppm/internal/popularity"
 	"pbppm/internal/server"
 	"pbppm/internal/session"
@@ -32,11 +45,22 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
+		addr        = flag.String("addr", ":8080", "serving listen address")
+		adminAddr   = flag.String("admin-addr", ":8081", "admin listen address for /metrics, /healthz, /debug; empty disables")
 		profileName = flag.String("profile", "nasa", "site profile: nasa or ucbcs")
 		rebuild     = flag.Duration("rebuild", 10*time.Minute, "model rebuild interval")
+		traceSample = flag.Int("trace-sample", 0, "sample 1 in N demand requests for predict-path tracing (0 = off)")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, or error")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "prefetchd: bad -log-level %q\n", *logLevel)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	log := obs.Component(logger, "prefetchd")
 
 	var p tracegen.Profile
 	switch *profileName {
@@ -51,7 +75,8 @@ func main() {
 
 	site, err := tracegen.BuildSite(p)
 	if err != nil {
-		log.Fatalf("prefetchd: %v", err)
+		log.Error("building site", "err", err)
+		os.Exit(1)
 	}
 	store := storeFromSite(site)
 
@@ -60,16 +85,25 @@ func main() {
 	warm.Days = 3
 	tr, err := tracegen.GenerateOn(site, warm)
 	if err != nil {
-		log.Fatalf("prefetchd: %v", err)
+		log.Error("generating warm history", "err", err)
+		os.Exit(1)
 	}
 	sessions := session.Sessionize(tr, session.Config{})
+
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(reg, *traceSample)
 
 	factory := func(rank *popularity.Ranking) markov.Predictor {
 		return core.New(rank, core.Config{RelProbCutoff: 0.01, DropSingletons: true})
 	}
-	maint, err := maintain.New(maintain.Config{Factory: factory})
+	maint, err := maintain.New(maintain.Config{
+		Factory: factory,
+		Obs:     reg,
+		Logger:  logger,
+	})
 	if err != nil {
-		log.Fatalf("prefetchd: %v", err)
+		log.Error("creating maintainer", "err", err)
+		os.Exit(1)
 	}
 	// The warm history carries the generator's synthetic timestamps;
 	// shift each session to end "now" minus its age within the history
@@ -85,11 +119,12 @@ func main() {
 		maint.Observe(shifted)
 	}
 	model := maint.Rebuild(time.Now())
-	log.Printf("prefetchd: warm model trained on %d sessions: %d nodes",
-		len(sessions), model.NodeCount())
+	log.Info("warm model trained", "sessions", len(sessions), "nodes", model.NodeCount())
 
 	srv := server.New(store, server.Config{
 		Predictor: model,
+		Obs:       reg,
+		Tracer:    tracer,
 		// Completed live sessions flow into the maintenance window so
 		// rebuilds track real traffic.
 		OnSessionEnd: func(client string, urls []string, last time.Time) {
@@ -103,39 +138,99 @@ func main() {
 			maint.Observe(s)
 		},
 	})
-	stop := make(chan struct{})
-	defer close(stop)
-	go maint.Run(*rebuild, stop)
-	go func() {
-		// Propagate rebuilt models into the server and trim stale
-		// client contexts.
-		ticker := time.NewTicker(*rebuild)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-ticker.C:
-				if m := maint.Predictor(); m != nil {
-					srv.SetPredictor(m)
-				}
-				srv.ExpireSessions()
-			}
-		}
-	}()
+
+	// Shut down on SIGINT/SIGTERM: stop the maintenance loops, drain
+	// in-flight requests, and log a final stats snapshot.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	go maintLoop(ctx, maint, srv, *rebuild)
 
 	mux := http.NewServeMux()
 	mux.Handle("/", srv)
-	mux.HandleFunc("/debug/stats", func(w http.ResponseWriter, r *http.Request) {
-		st := srv.Stats()
-		fmt.Fprintf(w, "demand %d\nprefetch %d\nnot-found %d\nhints %d\nsessions %d\nrebuilds %d\n",
-			st.DemandRequests, st.PrefetchRequests, st.NotFound,
-			st.HintsIssued, st.SessionsStarted, maint.Rebuilds())
+
+	admin := obs.NewAdminMux(reg, nil)
+	admin.HandleFunc("/debug/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeStats(w, srv.Stats(), maint.Rebuilds())
+	})
+	admin.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, rec := range tracer.Recent() {
+			fmt.Fprintln(w, rec)
+		}
 	})
 
-	log.Printf("prefetchd: serving %d pages on %s (profile %s, rebuild every %v)",
-		len(site.Pages), *addr, p.Name, *rebuild)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	web := &http.Server{Addr: *addr, Handler: mux}
+	errs := make(chan error, 2)
+	go func() { errs <- web.ListenAndServe() }()
+	log.Info("serving", "pages", len(site.Pages), "addr", *addr,
+		"profile", p.Name, "rebuild", *rebuild)
+
+	var adminSrv *http.Server
+	if *adminAddr != "" {
+		adminSrv = &http.Server{Addr: *adminAddr, Handler: admin}
+		go func() { errs <- adminSrv.ListenAndServe() }()
+		log.Info("admin listening", "addr", *adminAddr)
+	}
+
+	select {
+	case <-ctx.Done():
+		log.Info("shutdown signal received")
+	case err := <-errs:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Error("listener failed", "err", err)
+		}
+		cancel()
+	}
+
+	shutdownCtx, stop := context.WithTimeout(context.Background(), 10*time.Second)
+	defer stop()
+	if err := web.Shutdown(shutdownCtx); err != nil {
+		log.Warn("draining serving listener", "err", err)
+	}
+	if adminSrv != nil {
+		if err := adminSrv.Shutdown(shutdownCtx); err != nil {
+			log.Warn("draining admin listener", "err", err)
+		}
+	}
+
+	st := srv.Stats()
+	log.Info("final stats",
+		"demand", st.DemandRequests,
+		"prefetch", st.PrefetchRequests,
+		"not_found", st.NotFound,
+		"hints_issued", st.HintsIssued,
+		"hint_fetches", st.HintFetches,
+		"hint_hits", st.HintHits,
+		"sessions", st.SessionsStarted,
+		"rebuilds", maint.Rebuilds())
+}
+
+// maintLoop periodically rebuilds the model, publishes it to the
+// server, and trims stale client contexts, until ctx is cancelled.
+func maintLoop(ctx context.Context, maint *maintain.Maintainer, srv *server.Server, every time.Duration) {
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-ticker.C:
+			maint.Rebuild(now)
+			if m := maint.Predictor(); m != nil {
+				srv.SetPredictor(m)
+			}
+			srv.ExpireSessions()
+		}
+	}
+}
+
+// writeStats renders the plain-text stats snapshot for /debug/stats.
+func writeStats(w http.ResponseWriter, st server.Stats, rebuilds int) {
+	fmt.Fprintf(w, "demand %d\nprefetch %d\nnot-found %d\nhints %d\nhint-fetches %d\nhint-hits %d\nsessions %d\nrebuilds %d\n",
+		st.DemandRequests, st.PrefetchRequests, st.NotFound,
+		st.HintsIssued, st.HintFetches, st.HintHits,
+		st.SessionsStarted, rebuilds)
 }
 
 // storeFromSite materializes synthetic bodies for every page and image.

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"pbppm/internal/lrs"
 	"pbppm/internal/markov"
 	"pbppm/internal/metrics"
+	"pbppm/internal/obs"
 	"pbppm/internal/ppm"
 	"pbppm/internal/sim"
 	"pbppm/internal/topn"
@@ -35,6 +37,7 @@ func main() {
 		maxPrefetch = flag.Int64("max-prefetch", 0, "prefetch size cap in bytes (0 = paper default per model)")
 		useProxy    = flag.Bool("proxy", false, "interpose a shared 16 GB proxy cache")
 		saveModel   = flag.String("save-model", "", "write the trained model to this file (inspect with modelinfo)")
+		progress    = flag.Int("progress", 0, "log replay progress every N events (0 = silent)")
 	)
 	flag.Parse()
 
@@ -110,6 +113,18 @@ func main() {
 		Grades:           rank,
 		Sizes:            w.Sizes,
 		UseProxy:         *useProxy,
+	}
+	if *progress > 0 {
+		log := obs.Component(obs.NewLogger(os.Stderr, slog.LevelInfo), "prefetchsim")
+		opt.ProgressEvery = *progress
+		opt.OnProgress = func(p sim.Progress) {
+			log.Info("replay progress",
+				"events", p.Events,
+				"of", p.TotalEvents,
+				"hit_ratio", fmt.Sprintf("%.3f", p.HitRatio),
+				"prefetch_hits", p.PrefetchHits,
+				"events_per_sec", fmt.Sprintf("%.0f", p.EventsPerSec))
+		}
 	}
 	start = time.Now()
 	res := sim.Run(test, opt)

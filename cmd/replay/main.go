@@ -12,9 +12,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
+	"time"
 
+	"pbppm/internal/obs"
 	"pbppm/internal/server"
 	"pbppm/internal/session"
 	"pbppm/internal/trace"
@@ -25,6 +28,7 @@ func main() {
 		serverURL = flag.String("server", "http://127.0.0.1:8080", "prefetching server base URL")
 		maxReqs   = flag.Int("max-requests", 0, "stop after this many requests (0 = whole trace)")
 		noWait    = flag.Bool("no-wait", false, "do not wait for background prefetches between clicks")
+		progress  = flag.Int("progress", 0, "log replay progress every N requests (0 = silent)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -52,6 +56,8 @@ func main() {
 	})
 
 	clients := map[string]*server.Client{}
+	log := obs.Component(obs.NewLogger(os.Stderr, slog.LevelInfo), "replay")
+	replayStart := time.Now()
 	var requests, hits, prefetchHits, errors int
 	for _, s := range sessions {
 		cl := clients[s.Client]
@@ -81,6 +87,15 @@ func main() {
 			}
 			if !*noWait {
 				cl.Wait()
+			}
+			if *progress > 0 && requests%*progress == 0 {
+				elapsed := time.Since(replayStart)
+				log.Info("replay progress",
+					"requests", requests,
+					"hit_ratio", fmt.Sprintf("%.3f", float64(hits)/float64(requests)),
+					"prefetch_hits", prefetchHits,
+					"errors", errors,
+					"requests_per_sec", fmt.Sprintf("%.0f", float64(requests)/elapsed.Seconds()))
 			}
 		}
 	}

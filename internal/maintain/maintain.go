@@ -17,11 +17,13 @@ package maintain
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pbppm/internal/markov"
+	"pbppm/internal/obs"
 	"pbppm/internal/popularity"
 	"pbppm/internal/session"
 )
@@ -42,6 +44,15 @@ type Config struct {
 	Window time.Duration
 	// Factory builds the model at each rebuild; required.
 	Factory Factory
+	// Obs registers rebuild metrics (count, duration) and model-health
+	// gauges published at snapshot-swap time — node/branch/leaf counts,
+	// max height, and approximate bytes, the live counterpart of the
+	// paper's Figure 4 storage comparison. Nil keeps the metrics
+	// process-internal.
+	Obs *obs.Registry
+	// Logger receives rebuild progress lines, tagged component=maintain;
+	// nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) window() time.Duration {
@@ -55,9 +66,45 @@ func (c Config) window() time.Duration {
 // behind an atomic.Pointer.
 type predictorCell struct{ p markov.Predictor }
 
+// maintainMetrics holds the rebuild-loop metrics and the model-health
+// gauges, registered when Config.Obs is set (nil-registry safe).
+type maintainMetrics struct {
+	rebuilds       *obs.Counter
+	rebuildSeconds *obs.Histogram
+	windowSessions *obs.Gauge
+	modelNodes     *obs.Gauge
+	modelBranches  *obs.Gauge
+	modelLeaves    *obs.Gauge
+	modelMaxHeight *obs.Gauge
+	modelBytes     *obs.Gauge
+}
+
+func newMaintainMetrics(reg *obs.Registry) *maintainMetrics {
+	return &maintainMetrics{
+		rebuilds: reg.Counter("pbppm_rebuilds_total",
+			"Completed model rebuilds."),
+		rebuildSeconds: reg.Histogram("pbppm_rebuild_seconds",
+			"Model rebuild duration: window trim, ranking, training, optimization.", nil),
+		windowSessions: reg.Gauge("pbppm_window_sessions",
+			"Sessions in the sliding training window at the last rebuild."),
+		modelNodes: reg.Gauge("pbppm_model_nodes",
+			"URL nodes in the published model, the paper's storage metric (Figure 4)."),
+		modelBranches: reg.Gauge("pbppm_model_branches",
+			"Root branches in the published model."),
+		modelLeaves: reg.Gauge("pbppm_model_leaves",
+			"Root-to-leaf paths in the published model."),
+		modelMaxHeight: reg.Gauge("pbppm_model_max_height",
+			"Longest branch of the published model, in nodes."),
+		modelBytes: reg.Gauge("pbppm_model_bytes",
+			"Approximate in-memory size of the published model."),
+	}
+}
+
 // Maintainer keeps the sliding session window and the current model.
 type Maintainer struct {
-	cfg Config
+	cfg     Config
+	metrics *maintainMetrics
+	log     *slog.Logger
 
 	mu       sync.RWMutex
 	sessions []session.Session // roughly ordered by start time
@@ -74,7 +121,11 @@ func New(cfg Config) (*Maintainer, error) {
 	if cfg.Factory == nil {
 		return nil, fmt.Errorf("maintain: nil model factory")
 	}
-	return &Maintainer{cfg: cfg}, nil
+	return &Maintainer{
+		cfg:     cfg,
+		metrics: newMaintainMetrics(cfg.Obs),
+		log:     obs.Component(cfg.Logger, "maintain"),
+	}, nil
 }
 
 // Observe appends a completed session to the window. Sessions may
@@ -122,6 +173,7 @@ func (m *Maintainer) Predictor() markov.Predictor {
 // The expensive training runs outside any lock: Observe, Predictor,
 // and the serving path stay responsive during a rebuild.
 func (m *Maintainer) Rebuild(now time.Time) markov.Predictor {
+	start := time.Now()
 	cutoff := now.Add(-m.cfg.window())
 
 	// Snapshot and trim under the lock. Sessions may have been observed
@@ -163,6 +215,26 @@ func (m *Maintainer) Rebuild(now time.Time) markov.Predictor {
 
 	m.current.Store(&predictorCell{p: model})
 	m.rebuilds.Add(1)
+
+	// Publish rebuild metrics and model-health gauges for the snapshot
+	// just installed, then log one structured summary line.
+	dur := time.Since(start)
+	m.metrics.rebuilds.Inc()
+	m.metrics.rebuildSeconds.Observe(dur)
+	m.metrics.windowSessions.Set(int64(len(window)))
+	nodes := model.NodeCount()
+	m.metrics.modelNodes.Set(int64(nodes))
+	if st, ok := markov.StatsOf(model); ok {
+		m.metrics.modelBranches.Set(int64(st.Roots))
+		m.metrics.modelLeaves.Set(int64(st.Leaves))
+		m.metrics.modelMaxHeight.Set(int64(st.MaxDepth))
+		m.metrics.modelBytes.Set(st.ApproxBytes)
+	}
+	m.log.Info("model rebuilt",
+		"model", model.Name(),
+		"sessions", len(window),
+		"nodes", nodes,
+		"duration", dur.Round(time.Millisecond))
 	return model
 }
 

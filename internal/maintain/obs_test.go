@@ -1,0 +1,87 @@
+package maintain
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"pbppm/internal/obs"
+)
+
+// TestRebuildPublishesMetrics checks that a rebuild exports its
+// duration, the window size, and the model-health gauges — the live
+// counterpart of the paper's Figure 4 storage numbers.
+func TestRebuildPublishesMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	var logBuf bytes.Buffer
+	m, err := New(Config{
+		Factory: pbFactory,
+		Obs:     reg,
+		Logger:  obs.NewLogger(&logBuf, slog.LevelInfo),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Observe(mkSession(0, "/a", "/b", "/c"))
+	m.Observe(mkSession(1, "/a", "/b"))
+	m.Rebuild(epoch.Add(2 * time.Hour))
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if err := obs.ValidateExposition(text); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"pbppm_rebuilds_total 1",
+		"pbppm_window_sessions 2",
+		"pbppm_rebuild_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+	// Model-health gauges must be non-zero for a trained PB-PPM model.
+	for _, gauge := range []struct {
+		name string
+		g    *obs.Gauge
+	}{
+		{"pbppm_model_nodes", m.metrics.modelNodes},
+		{"pbppm_model_branches", m.metrics.modelBranches},
+		{"pbppm_model_leaves", m.metrics.modelLeaves},
+		{"pbppm_model_max_height", m.metrics.modelMaxHeight},
+		{"pbppm_model_bytes", m.metrics.modelBytes},
+	} {
+		if gauge.g.Value() <= 0 {
+			t.Errorf("%s = %d, want > 0", gauge.name, gauge.g.Value())
+		}
+		if !strings.Contains(text, gauge.name) {
+			t.Errorf("exposition missing %s", gauge.name)
+		}
+	}
+	// The rebuild logged one component-tagged structured line.
+	logged := logBuf.String()
+	if !strings.Contains(logged, "model rebuilt") || !strings.Contains(logged, "component=maintain") {
+		t.Errorf("rebuild log = %q", logged)
+	}
+}
+
+// TestRebuildWithoutObsStaysSilent pins the nil-config contract: no
+// registry, no logger, no panic.
+func TestRebuildWithoutObsStaysSilent(t *testing.T) {
+	m, err := New(Config{Factory: pbFactory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Observe(mkSession(0, "/a", "/b"))
+	if got := m.Rebuild(epoch.Add(time.Hour)); got == nil {
+		t.Fatal("Rebuild returned nil model")
+	}
+	if m.metrics.rebuilds.Value() != 1 {
+		t.Error("internal rebuild counter not kept without a registry")
+	}
+}

@@ -82,6 +82,24 @@ func (st TreeStats) String() string {
 	return sb.String()
 }
 
+// TreeHolder is implemented by models backed by a single prediction
+// tree (PB-PPM, PPM, LRS expose theirs); the observability layer uses
+// it to publish model-health gauges without knowing the model type.
+type TreeHolder interface {
+	Tree() *Tree
+}
+
+// StatsOf returns tree statistics for any predictor backed by a
+// prediction tree; ok is false for models without one (e.g. Top-N),
+// whose only universal health signal is Predictor.NodeCount.
+func StatsOf(p Predictor) (st TreeStats, ok bool) {
+	th, ok := p.(TreeHolder)
+	if !ok || th.Tree() == nil {
+		return TreeStats{}, false
+	}
+	return th.Tree().Stats(), true
+}
+
 // TopBranches returns the n highest-count root branches with their
 // counts, descending; a quick view of what the model considers hot.
 func (t *Tree) TopBranches(n int) []Prediction {

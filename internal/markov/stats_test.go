@@ -52,6 +52,36 @@ func TestTreeStatsEmpty(t *testing.T) {
 	}
 }
 
+// treeBacked is a minimal Predictor exposing its tree, mirroring the
+// real models' Tree() accessor.
+type treeBacked struct {
+	Predictor
+	tree *Tree
+}
+
+func (m treeBacked) Tree() *Tree { return m.tree }
+
+// treeless is a Predictor without a tree (the Top-N shape).
+type treeless struct{ Predictor }
+
+func TestStatsOf(t *testing.T) {
+	tr := NewTree()
+	tr.Insert([]string{"a", "b"}, 0, 1)
+	st, ok := StatsOf(treeBacked{tree: tr})
+	if !ok {
+		t.Fatal("StatsOf reported no tree for a tree-backed model")
+	}
+	if st.Nodes != 2 {
+		t.Errorf("Nodes = %d, want 2", st.Nodes)
+	}
+	if _, ok := StatsOf(treeless{}); ok {
+		t.Error("StatsOf reported a tree for a treeless model")
+	}
+	if _, ok := StatsOf(treeBacked{tree: nil}); ok {
+		t.Error("StatsOf reported stats for a nil tree")
+	}
+}
+
 func TestTopBranches(t *testing.T) {
 	tr := NewTree()
 	tr.Insert([]string{"hot"}, 0, 10)

@@ -4,30 +4,27 @@ import (
 	"fmt"
 	"strings"
 	"time"
-)
 
-// latencyBoundsMS are the upper bounds (milliseconds) of the latency
-// histogram buckets; the final bucket is unbounded.
-var latencyBoundsMS = []int64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000}
+	"pbppm/internal/obs"
+)
 
 // LatencyHistogram counts per-request latencies in fixed exponential
 // buckets, enough for percentile reporting without storing samples.
+//
+// The bucket bounds and the quantile computation are shared with the
+// live observability layer (obs.DefaultLatencyBounds,
+// obs.QuantileOverCounts), so simulator percentiles and a running
+// server's /metrics histograms are comparable bucket-for-bucket. This
+// type is the simulator's single-threaded, mergeable accumulator; the
+// atomic, registry-exported counterpart is obs.Histogram.
 type LatencyHistogram struct {
-	Buckets [14]int64 // len(latencyBoundsMS) + 1 overflow bucket
+	Buckets [14]int64 // len(obs.DefaultLatencyBounds) + 1 overflow bucket
 	Total   int64
 }
 
 // Observe records one request latency.
 func (h *LatencyHistogram) Observe(d time.Duration) {
-	ms := d.Milliseconds()
-	idx := len(latencyBoundsMS)
-	for i, b := range latencyBoundsMS {
-		if ms <= b {
-			idx = i
-			break
-		}
-	}
-	h.Buckets[idx]++
+	h.Buckets[obs.BucketIndex(obs.DefaultLatencyBounds, d)]++
 	h.Total++
 }
 
@@ -35,27 +32,10 @@ func (h *LatencyHistogram) Observe(d time.Duration) {
 // (p in (0,100]); zero with no observations. The estimate is the upper
 // boundary of the bucket containing the percentile rank.
 func (h *LatencyHistogram) Percentile(p float64) time.Duration {
-	if h.Total == 0 || p <= 0 {
+	if p <= 0 {
 		return 0
 	}
-	if p > 100 {
-		p = 100
-	}
-	rank := int64(p / 100 * float64(h.Total))
-	if rank < 1 {
-		rank = 1
-	}
-	var seen int64
-	for i, n := range h.Buckets {
-		seen += n
-		if seen >= rank {
-			if i < len(latencyBoundsMS) {
-				return time.Duration(latencyBoundsMS[i]) * time.Millisecond
-			}
-			return time.Duration(latencyBoundsMS[len(latencyBoundsMS)-1]) * 2 * time.Millisecond
-		}
-	}
-	return 0
+	return obs.QuantileOverCounts(obs.DefaultLatencyBounds, h.Buckets[:], p/100)
 }
 
 // Merge adds other's counts into h.
@@ -71,20 +51,21 @@ func (h *LatencyHistogram) String() string {
 	if h.Total == 0 {
 		return "no observations"
 	}
+	bounds := obs.DefaultLatencyBounds
 	var sb strings.Builder
 	prev := int64(0)
 	for i, n := range h.Buckets {
 		if n == 0 {
-			if i < len(latencyBoundsMS) {
-				prev = latencyBoundsMS[i]
+			if i < len(bounds) {
+				prev = bounds[i].Milliseconds()
 			}
 			continue
 		}
-		if i < len(latencyBoundsMS) {
-			fmt.Fprintf(&sb, "%d-%dms: %d  ", prev, latencyBoundsMS[i], n)
-			prev = latencyBoundsMS[i]
+		if i < len(bounds) {
+			fmt.Fprintf(&sb, "%d-%dms: %d  ", prev, bounds[i].Milliseconds(), n)
+			prev = bounds[i].Milliseconds()
 		} else {
-			fmt.Fprintf(&sb, ">%dms: %d  ", latencyBoundsMS[len(latencyBoundsMS)-1], n)
+			fmt.Fprintf(&sb, ">%dms: %d  ", bounds[len(bounds)-1].Milliseconds(), n)
 		}
 	}
 	fmt.Fprintf(&sb, "(p50 <= %v, p95 <= %v, p99 <= %v)",

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewAdminMux returns the admin-side mux the binaries serve on a
+// separate listener (-admin-addr), away from end-user traffic:
+//
+//	/metrics      Prometheus text exposition of reg
+//	/healthz      200 "ok", or 503 with the error when healthz fails
+//	/debug/pprof  the standard net/http/pprof handlers
+//
+// healthz may be nil for an unconditionally healthy process. Callers
+// add their own extra endpoints (e.g. /debug/stats) on the returned
+// mux.
+func NewAdminMux(reg *Registry, healthz func() error) *http.ServeMux {
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if healthz != nil {
+			if err := healthz(); err != nil {
+				http.Error(w, fmt.Sprintf("unhealthy: %v", err), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// goldenRegistry builds the registry behind testdata/exposition.golden.
+// Observations are chosen to be exact binary fractions so the rendered
+// _sum is byte-stable.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	demand := reg.Counter("app_requests_total", "Requests served.", Label{Name: "kind", Value: "demand"})
+	prefetch := reg.Counter("app_requests_total", "Requests served.", Label{Name: "kind", Value: "prefetch"})
+	nodes := reg.Gauge("app_model_nodes", "Model nodes.")
+	lat := reg.Histogram("app_latency_seconds", "Latency.",
+		[]time.Duration{time.Second / 4, time.Second})
+	weird := reg.Counter("app_weird_total", "Help with \\ backslash\nand newline.",
+		Label{Name: "path", Value: "a\"b\\c\nd"})
+
+	demand.Add(3)
+	prefetch.Inc()
+	nodes.Set(42)
+	lat.Observe(125 * time.Millisecond)
+	lat.Observe(500 * time.Millisecond)
+	lat.Observe(2 * time.Second)
+	weird.Inc()
+	return reg
+}
+
+// TestWritePrometheusGolden compares the full exposition byte-for-byte
+// against the checked-in golden file, line by line for a readable diff.
+func TestWritePrometheusGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	got := sb.String()
+	want, err := os.ReadFile("testdata/exposition.golden")
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Errorf("line %d:\n  got  %q\n  want %q", i+1, g, w)
+		}
+	}
+}
+
+// TestExpositionValidates runs the format validator over the golden
+// registry: HELP before TYPE before samples, escaped labels parse back,
+// and histogram _bucket/_sum/_count invariants hold.
+func TestExpositionValidates(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if err := ValidateExposition(sb.String()); err != nil {
+		t.Fatalf("ValidateExposition: %v\nexposition:\n%s", err, sb.String())
+	}
+}
+
+// TestValidateExpositionRejectsMalformed spot-checks that the validator
+// actually rejects broken expositions, so the positive tests mean
+// something.
+func TestValidateExpositionRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample without HELP/TYPE": "lonely_total 3\n",
+		"TYPE before HELP":         "# TYPE x counter\n# HELP x h\nx 1\n",
+		"count mismatch": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+		"non-cumulative buckets": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"missing sum": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+		"interleaved families": "# HELP a x\n# TYPE a counter\n" +
+			"# HELP b y\n# TYPE b counter\na 1\n",
+	}
+	for name, text := range cases {
+		if err := ValidateExposition(text); err == nil {
+			t.Errorf("%s: validator accepted malformed exposition", name)
+		}
+	}
+}
+
+// TestRenderDuringUpdates hammers counters, gauges, and histograms from
+// many goroutines while rendering concurrently; run with -race. Every
+// render must stay valid (in particular the histogram +Inf/_count
+// agreement) even mid-update.
+func TestRenderDuringUpdates(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("stress_total", "Stress counter.")
+	g := reg.Gauge("stress_gauge", "Stress gauge.")
+	h := reg.Histogram("stress_seconds", "Stress histogram.", nil,
+		Label{Name: "kind", Value: "demand"})
+
+	const writers = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(int64(n))
+				h.Observe(time.Duration(n%2000) * time.Millisecond)
+			}
+		}(i)
+	}
+	for r := 0; r < 50; r++ {
+		var sb strings.Builder
+		if err := reg.WritePrometheus(&sb); err != nil {
+			t.Fatalf("render %d: %v", r, err)
+		}
+		if err := ValidateExposition(sb.String()); err != nil {
+			t.Fatalf("render %d invalid under concurrent updates: %v", r, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

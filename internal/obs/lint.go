@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks text against the Prometheus text exposition
+// format v0.0.4 rules the renderer promises: every family is a
+// contiguous block of "# HELP", then "# TYPE", then samples; sample
+// names match the family (histograms only via _bucket/_sum/_count);
+// label values are well-formed; and every histogram member has
+// non-decreasing cumulative buckets ending in a +Inf bucket equal to
+// its _count. It returns nil for valid text. Tests use it to verify
+// /metrics endpoints end to end.
+func ValidateExposition(text string) error {
+	type famState struct {
+		kind     string
+		sawType  bool
+		closed   bool
+		hist     map[string][]float64 // label-sig → cumulative bucket values
+		histInf  map[string]float64
+		histCnt  map[string]float64
+		histSum  map[string]bool
+		histSeen map[string]bool
+	}
+	fams := make(map[string]*famState)
+	var open string // family currently being emitted
+
+	finish := func(name string) error {
+		f := fams[name]
+		if f == nil || f.kind != "histogram" {
+			return nil
+		}
+		for sig := range f.histSeen {
+			inf, ok := f.histInf[sig]
+			if !ok {
+				return fmt.Errorf("histogram %s{%s}: missing +Inf bucket", name, sig)
+			}
+			cnt, ok := f.histCnt[sig]
+			if !ok {
+				return fmt.Errorf("histogram %s{%s}: missing _count", name, sig)
+			}
+			if inf != cnt {
+				return fmt.Errorf("histogram %s{%s}: +Inf bucket %v != _count %v", name, sig, inf, cnt)
+			}
+			if !f.histSum[sig] {
+				return fmt.Errorf("histogram %s{%s}: missing _sum", name, sig)
+			}
+			prev := -1.0
+			for i, v := range f.hist[sig] {
+				if v < prev {
+					return fmt.Errorf("histogram %s{%s}: bucket %d not cumulative (%v < %v)", name, sig, i, v, prev)
+				}
+				prev = v
+			}
+		}
+		return nil
+	}
+
+	lines := strings.Split(text, "\n")
+	for ln, line := range lines {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			name := fields[2]
+			if err := checkMetricName(name); err != nil {
+				return fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			switch fields[1] {
+			case "HELP":
+				if f := fams[name]; f != nil {
+					return fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				if open != "" && open != name {
+					if err := finish(open); err != nil {
+						return err
+					}
+					fams[open].closed = true
+				}
+				fams[name] = &famState{
+					hist:     map[string][]float64{},
+					histInf:  map[string]float64{},
+					histCnt:  map[string]float64{},
+					histSum:  map[string]bool{},
+					histSeen: map[string]bool{},
+				}
+				open = name
+			case "TYPE":
+				f := fams[name]
+				if f == nil || open != name {
+					return fmt.Errorf("line %d: TYPE for %s without preceding HELP", lineNo, name)
+				}
+				if f.sawType {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+				f.kind = fields[3]
+				f.sawType = true
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam := name
+		suffix := ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, s)
+			if base != name {
+				if f := fams[base]; f != nil && f.kind == "histogram" {
+					fam, suffix = base, s
+				}
+				break
+			}
+		}
+		f := fams[fam]
+		if f == nil || !f.sawType {
+			return fmt.Errorf("line %d: sample %s without preceding HELP/TYPE", lineNo, name)
+		}
+		if f.closed || open != fam {
+			return fmt.Errorf("line %d: sample %s outside its family block", lineNo, name)
+		}
+		if f.kind == "histogram" && suffix == "" {
+			return fmt.Errorf("line %d: bare sample %s in histogram family", lineNo, name)
+		}
+		if f.kind != "histogram" {
+			continue
+		}
+		le := ""
+		var rest []Label
+		for _, l := range labels {
+			if l.Name == "le" {
+				le = l.Value
+			} else {
+				rest = append(rest, l)
+			}
+		}
+		sig := labelSig(rest)
+		f.histSeen[sig] = true
+		switch suffix {
+		case "_bucket":
+			if le == "" {
+				return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+			}
+			if le == "+Inf" {
+				f.histInf[sig] = value
+			} else if _, err := strconv.ParseFloat(le, 64); err != nil {
+				return fmt.Errorf("line %d: bad le %q: %v", lineNo, le, err)
+			}
+			f.hist[sig] = append(f.hist[sig], value)
+		case "_sum":
+			f.histSum[sig] = true
+		case "_count":
+			f.histCnt[sig] = value
+		}
+	}
+	if open != "" {
+		if err := finish(open); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseSample splits one sample line into name, labels, and value.
+func parseSample(line string) (string, []Label, float64, error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var name string
+	var labels []Label
+	if brace >= 0 {
+		name = rest[:brace]
+		rest = rest[brace+1:]
+		for {
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+				return "", nil, 0, fmt.Errorf("malformed labels in %q", line)
+			}
+			lname := rest[:eq]
+			rest = rest[eq+2:]
+			// Scan to the closing unescaped quote.
+			var val strings.Builder
+			i := 0
+			for ; i < len(rest); i++ {
+				if rest[i] == '\\' && i+1 < len(rest) {
+					val.WriteByte(rest[i+1])
+					i++
+					continue
+				}
+				if rest[i] == '"' {
+					break
+				}
+				val.WriteByte(rest[i])
+			}
+			if i >= len(rest) {
+				return "", nil, 0, fmt.Errorf("unterminated label value in %q", line)
+			}
+			labels = append(labels, Label{Name: lname, Value: val.String()})
+			rest = rest[i+1:]
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+				continue
+			}
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			return "", nil, 0, fmt.Errorf("malformed label separator in %q", line)
+		}
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return "", nil, 0, fmt.Errorf("missing value in %q", line)
+		}
+		name = rest[:sp]
+		rest = rest[sp:]
+	}
+	if err := checkMetricName(name); err != nil {
+		return "", nil, 0, err
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	return name, labels, v, nil
+}

@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewLogger returns a text-format slog.Logger writing to w at the
+// given level — the shared logger the binaries hand to each runtime
+// component.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// Component returns a child logger tagged with the component name
+// ("server", "maintain", "proxy", ...), so one shared logger yields
+// attributable lines from every layer. A nil parent returns a discard
+// logger, letting libraries log unconditionally.
+func Component(l *slog.Logger, name string) *slog.Logger {
+	if l == nil {
+		return Discard()
+	}
+	return l.With("component", name)
+}
+
+// Discard returns a logger that drops everything, the nil-safe default
+// for library components constructed without a logger.
+func Discard() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1}))
+}

@@ -1,0 +1,247 @@
+// Package obs is the repo's zero-dependency observability layer: a
+// small metrics registry (counters, gauges, and fixed-bucket duration
+// histograms, all with atomic hot paths) that renders the Prometheus
+// text exposition format, structured logging helpers over log/slog, a
+// sampled predict-path tracer, and an admin HTTP mux serving /metrics,
+// /healthz, and net/http/pprof.
+//
+// The paper's whole argument rests on measured quantities — hit ratio,
+// traffic increase, latency reduction, and model storage cost — and
+// this package is their live counterpart: the server exports request
+// latencies and hint precision counters, the maintenance loop exports
+// rebuild durations and model-size gauges (the runtime analogue of
+// Figure 4's storage comparison), and long simulator replays report
+// progress instead of running silent.
+//
+// # Concurrency
+//
+// Counter, Gauge, and Histogram updates are single atomic operations
+// and safe for unsynchronized concurrent use; WritePrometheus may run
+// concurrently with updates and renders an approximate but
+// internally-consistent snapshot (histogram _count always equals the
+// +Inf bucket). Registration takes the registry mutex and is intended
+// for startup, not hot paths.
+//
+// All constructors are nil-registry safe: calling Counter, Gauge, or
+// Histogram on a nil *Registry returns a working, unregistered metric,
+// so instrumented packages need no "is observability on?" branches.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one metric label pair, fixed at registration time.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative n is a programmer error and is ignored so a
+// counter never goes backwards.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// metricKind discriminates exposition TYPE lines.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// entry is one registered metric instance (a family member with its
+// label set).
+type entry struct {
+	labels []Label
+	metric any // *Counter, *Gauge, or *Histogram
+}
+
+// family groups all label variants of one metric name under a single
+// HELP/TYPE pair, as the exposition format requires.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	entries []entry
+}
+
+// Registry holds registered metrics and renders them. The zero value
+// is not usable; call NewRegistry. A nil *Registry is a valid
+// "observability off" registry: constructors return live, unregistered
+// metrics.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelSig is a canonical key for a label set within a family.
+func labelSig(labels []Label) string {
+	sig := ""
+	for _, l := range labels {
+		sig += l.Name + "\x00" + l.Value + "\x00"
+	}
+	return sig
+}
+
+// register adds (or finds) the metric for name+labels. Registration is
+// idempotent: re-registering the same name, kind, and label set returns
+// the existing metric, so independently-constructed components can
+// share counters. Conflicting kinds for one name panic: the exposition
+// format cannot express them and it is always a programmer error.
+func (r *Registry) register(name, help string, kind metricKind, labels []Label, mk func() any) any {
+	if err := checkMetricName(name); err != nil {
+		panic(fmt.Sprintf("obs: %v", err))
+	}
+	for _, l := range labels {
+		if err := checkLabelName(l.Name); err != nil {
+			panic(fmt.Sprintf("obs: metric %s: %v", name, err))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s registered as both %s and %s", name, f.kind, kind))
+	}
+	sig := labelSig(labels)
+	for _, e := range f.entries {
+		if labelSig(e.labels) == sig {
+			return e.metric
+		}
+	}
+	m := mk()
+	f.entries = append(f.entries, entry{labels: append([]Label(nil), labels...), metric: m})
+	return m
+}
+
+// Counter registers (or finds) a counter. Safe on a nil registry.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	return r.register(name, help, kindCounter, labels, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge registers (or finds) a gauge. Safe on a nil registry.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	return r.register(name, help, kindGauge, labels, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram registers (or finds) a duration histogram over bounds;
+// nil bounds selects DefaultLatencyBounds. Safe on a nil registry.
+// Within one family every member shares the first registrant's bounds.
+func (r *Registry) Histogram(name, help string, bounds []time.Duration, labels ...Label) *Histogram {
+	if r == nil {
+		return NewHistogram(bounds)
+	}
+	return r.register(name, help, kindHistogram, labels, func() any { return NewHistogram(bounds) }).(*Histogram)
+}
+
+// snapshot returns the families sorted by name with entries in
+// registration order, for rendering.
+func (r *Registry) snapshot() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// checkMetricName enforces the exposition grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func checkMetricName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty metric name")
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("invalid metric name %q", name)
+		}
+	}
+	return nil
+}
+
+// checkLabelName enforces [a-zA-Z_][a-zA-Z0-9_]* and reserves the
+// double-underscore prefix, per the exposition format.
+func checkLabelName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty label name")
+	}
+	if len(name) >= 2 && name[0] == '_' && name[1] == '_' {
+		return fmt.Errorf("reserved label name %q", name)
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+	}
+	return nil
+}

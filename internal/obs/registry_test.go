@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistrationIsIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "X.", Label{Name: "kind", Value: "a"})
+	b := reg.Counter("x_total", "X.", Label{Name: "kind", Value: "a"})
+	if a != b {
+		t.Error("re-registering the same counter returned a different instance")
+	}
+	c := reg.Counter("x_total", "X.", Label{Name: "kind", Value: "b"})
+	if a == c {
+		t.Error("different label sets shared one counter")
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "X.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic registering one name as two kinds")
+		}
+	}()
+	reg.Gauge("x_total", "X.")
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	reg := NewRegistry()
+	for name, f := range map[string]func(){
+		"bad metric name": func() { reg.Counter("0bad", "X.") },
+		"empty name":      func() { reg.Counter("", "X.") },
+		"bad label name":  func() { reg.Counter("ok_total", "X.", Label{Name: "0bad", Value: "v"}) },
+		"reserved label":  func() { reg.Counter("ok2_total", "X.", Label{Name: "__meta", Value: "v"}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestNilRegistrySafe verifies the "observability off" contract: a nil
+// registry hands out working metrics so instrumented code needs no
+// branches.
+func TestNilRegistrySafe(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x_total", "X.")
+	c.Inc()
+	if c.Value() != 1 {
+		t.Error("nil-registry counter did not count")
+	}
+	g := reg.Gauge("x", "X.")
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Error("nil-registry gauge did not hold its value")
+	}
+	h := reg.Histogram("x_seconds", "X.", nil)
+	h.Observe(time.Millisecond)
+	if h.Count() != 1 {
+		t.Error("nil-registry histogram did not count")
+	}
+}
+
+func TestCounterIgnoresNegativeAdd(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if got := c.Value(); got != 5 {
+		t.Errorf("Value = %d, want 5 (negative Add must be ignored)", got)
+	}
+}
+
+func TestAdminMux(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "X.").Inc()
+	healthy := true
+	mux := NewAdminMux(reg, func() error {
+		if !healthy {
+			return errTest
+		}
+		return nil
+	})
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec
+	}
+
+	if rec := get("/metrics"); rec.Code != http.StatusOK ||
+		!strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Errorf("/metrics = %d %q", rec.Code, rec.Body.String())
+	}
+	if got := get("/metrics").Header().Get("Content-Type"); !strings.Contains(got, "version=0.0.4") {
+		t.Errorf("/metrics content type = %q", got)
+	}
+	if rec := get("/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("/healthz = %d", rec.Code)
+	}
+	healthy = false
+	if rec := get("/healthz"); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("unhealthy /healthz = %d", rec.Code)
+	}
+	if rec := get("/debug/pprof/cmdline"); rec.Code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d", rec.Code)
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "down for the test" }

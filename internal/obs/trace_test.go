@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTracerSamplesEveryN(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg, 2) // every second call
+	recorded := 0
+	for i := 0; i < 10; i++ {
+		span := tr.Start()
+		if span.Active() {
+			recorded++
+			span.Mark(StageSession)
+			span.Mark(StagePredict)
+			span.Finish("c1", "/a")
+		}
+	}
+	if recorded != 5 {
+		t.Errorf("sampled %d of 10 calls, want 5", recorded)
+	}
+	if got := tr.sampled.Value(); got != 5 {
+		t.Errorf("sampled counter = %d, want 5", got)
+	}
+	if got := tr.stages[StagePredict].Count(); got != 5 {
+		t.Errorf("predict-stage histogram count = %d, want 5", got)
+	}
+	if got := len(tr.Recent()); got != 5 {
+		t.Errorf("Recent() returned %d traces, want 5", got)
+	}
+}
+
+// TestTracerDisabledAndNil verifies the hot-path contract: spans from a
+// disabled or nil tracer are inert and never allocate trace state.
+func TestTracerDisabledAndNil(t *testing.T) {
+	tr := NewTracer(nil, 0)
+	span := tr.Start()
+	if span.Active() {
+		t.Error("disabled tracer returned an active span")
+	}
+	span.Mark(StageSession)
+	span.Finish("c", "/x") // must be a no-op, not a panic
+	if got := len(tr.Recent()); got != 0 {
+		t.Errorf("disabled tracer recorded %d traces", got)
+	}
+
+	var nilTr *Tracer
+	span = nilTr.Start()
+	if span.Active() {
+		t.Error("nil tracer returned an active span")
+	}
+	span.Mark(StagePredict)
+	span.Finish("c", "/x")
+}
+
+func TestTracerRingNewestFirstAndBounded(t *testing.T) {
+	tr := NewTracer(nil, 1)
+	for i := 0; i < traceRingSize+5; i++ {
+		span := tr.Start()
+		span.Finish("c", "/x")
+	}
+	got := tr.Recent()
+	if len(got) != traceRingSize {
+		t.Fatalf("ring holds %d, want %d", len(got), traceRingSize)
+	}
+}
+
+func TestTracerSetSampleEvery(t *testing.T) {
+	tr := NewTracer(nil, 0)
+	if tr.Start().Active() {
+		t.Error("sampling off, span active")
+	}
+	tr.SetSampleEvery(1)
+	if !tr.Start().Active() {
+		t.Error("sampling every call, span inactive")
+	}
+}
+
+func TestSpanStageAttribution(t *testing.T) {
+	tr := NewTracer(nil, 1)
+	span := tr.Start()
+	time.Sleep(2 * time.Millisecond)
+	span.Mark(StagePredict)
+	span.Finish("c", "/x")
+	rec := tr.Recent()[0]
+	if rec.Stages[StagePredict] <= 0 {
+		t.Error("predict stage has no attributed time")
+	}
+	if rec.Total < rec.Stages[StagePredict] {
+		t.Errorf("total %v < predict stage %v", rec.Total, rec.Stages[StagePredict])
+	}
+}

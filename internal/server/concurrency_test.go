@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"pbppm/internal/core"
+	"pbppm/internal/obs"
 	"pbppm/internal/popularity"
 )
 
@@ -141,6 +142,34 @@ func TestStressSameClientContext(t *testing.T) {
 // with GOMAXPROCS.
 func BenchmarkServerServeHTTPParallel(b *testing.B) {
 	srv := New(benchStore(), Config{Predictor: benchModel()})
+	var id atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := fmt.Sprintf("bench-client-%d", id.Add(1))
+		urls := []string{"/p0", "/p1", "/p2", "/p3", "/p4", "/p5", "/p6", "/p7"}
+		req := httptest.NewRequest(http.MethodGet, "/p0", nil)
+		req.Header.Set(HeaderClientID, client)
+		i := 0
+		for pb.Next() {
+			req.URL.Path = urls[i%len(urls)]
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			i++
+		}
+	})
+}
+
+// BenchmarkServerServeHTTPParallelObs is the same workload with a live
+// metrics registry and a sampling-off tracer, to measure the cost of
+// instrumentation relative to BenchmarkServerServeHTTPParallel.
+func BenchmarkServerServeHTTPParallelObs(b *testing.B) {
+	reg := obs.NewRegistry()
+	srv := New(benchStore(), Config{
+		Predictor: benchModel(),
+		Obs:       reg,
+		Tracer:    obs.NewTracer(reg, 0),
+	})
 	var id atomic.Int64
 	b.ReportAllocs()
 	b.ResetTimer()

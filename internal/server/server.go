@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"pbppm/internal/markov"
+	"pbppm/internal/obs"
 	"pbppm/internal/popularity"
 	"pbppm/internal/session"
 )
@@ -97,6 +98,16 @@ type Config struct {
 	// The maintenance loop uses it to feed its sliding window. It is
 	// called without any server lock held and must not block for long.
 	OnSessionEnd func(client string, urls []string, last time.Time)
+	// Obs registers the server's runtime metrics (request and latency
+	// counters, hint precision counters) for /metrics exposition. Nil
+	// keeps the same counters process-internal: Stats still works and
+	// the hot path is identical either way.
+	Obs *obs.Registry
+	// Tracer samples per-stage predict-path timings (session lookup →
+	// context assembly → Predict → hint filtering). Nil disables
+	// tracing entirely; a tracer with sampling off costs one atomic
+	// load per demand request.
+	Tracer *obs.Tracer
 }
 
 func (c Config) maxHints() int {
@@ -134,15 +145,70 @@ type Stats struct {
 	NotFound         int64
 	HintsIssued      int64
 	SessionsStarted  int64
+	SessionsExpired  int64
+	// HintFetches counts prefetch requests for URLs this server hinted
+	// to the same client — the cooperating client acting on hints.
+	HintFetches int64
+	// HintHits counts demand requests for URLs previously hinted to the
+	// same client in its open session: predictions the user confirmed
+	// by navigating there. HintHits over HintsIssued is the live lower
+	// bound on prefetch precision (§4 of the paper); demand clicks a
+	// client served from its own prefetch cache never reach the server
+	// and are not counted.
+	HintHits int64
 }
 
-// counters holds the live atomic counters behind Stats.
-type counters struct {
-	demandRequests   atomic.Int64
-	prefetchRequests atomic.Int64
-	notFound         atomic.Int64
-	hintsIssued      atomic.Int64
-	sessionsStarted  atomic.Int64
+// serverMetrics holds the live counters behind Stats, registered for
+// /metrics exposition when Config.Obs is set. Every update is a single
+// atomic operation; with a nil registry the metrics exist unregistered,
+// so the serving path never branches on observability.
+type serverMetrics struct {
+	demandRequests   *obs.Counter
+	prefetchRequests *obs.Counter
+	notFound         *obs.Counter
+	demandBytes      *obs.Counter
+	prefetchBytes    *obs.Counter
+	hintsIssued      *obs.Counter
+	hintFetches      *obs.Counter
+	hintHits         *obs.Counter
+	sessionsStarted  *obs.Counter
+	sessionsExpired  *obs.Counter
+	demandLatency    *obs.Histogram
+	prefetchLatency  *obs.Histogram
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	kind := func(v string) obs.Label { return obs.Label{Name: "kind", Value: v} }
+	return &serverMetrics{
+		demandRequests: reg.Counter("pbppm_http_requests_total",
+			"Requests served, split into demand navigation and hint-driven prefetches.",
+			kind("demand")),
+		prefetchRequests: reg.Counter("pbppm_http_requests_total",
+			"Requests served, split into demand navigation and hint-driven prefetches.",
+			kind("prefetch")),
+		notFound: reg.Counter("pbppm_http_not_found_total",
+			"Requests for URLs absent from the content store."),
+		demandBytes: reg.Counter("pbppm_http_response_bytes_total",
+			"Body bytes served; the prefetch/demand ratio is the live traffic-increase metric.",
+			kind("demand")),
+		prefetchBytes: reg.Counter("pbppm_http_response_bytes_total",
+			"Body bytes served; the prefetch/demand ratio is the live traffic-increase metric.",
+			kind("prefetch")),
+		hintsIssued: reg.Counter("pbppm_hints_issued_total",
+			"Prefetch hints attached to responses."),
+		hintFetches: reg.Counter("pbppm_hint_fetches_total",
+			"Hinted URLs fetched by cooperating clients (X-Prefetch-Fetch)."),
+		hintHits: reg.Counter("pbppm_hint_hits_total",
+			"Demand requests for URLs previously hinted to the same client."),
+		sessionsStarted: reg.Counter("pbppm_sessions_started_total",
+			"Client access sessions opened."),
+		sessionsExpired: reg.Counter("pbppm_sessions_expired_total",
+			"Client access sessions closed by the idle rule."),
+		demandLatency: reg.Histogram("pbppm_http_request_seconds",
+			"Request handling latency by request kind.", nil, kind("demand")),
+		prefetchLatency: reg.Histogram("pbppm_http_request_seconds",
+			"Request handling latency by request kind.", nil, kind("prefetch")),
+	}
 }
 
 // contextShards is the number of session-context shards. 64 keeps
@@ -192,14 +258,48 @@ type Server struct {
 
 	shards [contextShards]contextShard
 
-	stats counters
+	metrics *serverMetrics
+	tracer  *obs.Tracer
 }
+
+// hintMemory caps how many outstanding hinted URLs are remembered per
+// client context for the hint-hit counters; oldest hints are dropped
+// first. 32 covers many responses' worth of hints at the default of 4
+// per response.
+const hintMemory = 32
 
 // clientContext is one client's open access session, guarded by its
 // shard's lock.
 type clientContext struct {
 	urls []string
 	last time.Time
+	// hinted holds recently issued, not-yet-confirmed hint URLs for
+	// this client, consumed by the hint-hit counter when a demand
+	// request for one arrives.
+	hinted []string
+}
+
+// hintedIndex returns the position of url in ctx.hinted, or -1.
+func (ctx *clientContext) hintedIndex(url string) int {
+	for i, h := range ctx.hinted {
+		if h == url {
+			return i
+		}
+	}
+	return -1
+}
+
+// recordHinted remembers issued hint URLs, bounded by hintMemory.
+func (ctx *clientContext) recordHinted(urls []string) {
+	for _, u := range urls {
+		if ctx.hintedIndex(u) >= 0 {
+			continue
+		}
+		ctx.hinted = append(ctx.hinted, u)
+	}
+	if over := len(ctx.hinted) - hintMemory; over > 0 {
+		ctx.hinted = append(ctx.hinted[:0], ctx.hinted[over:]...)
+	}
 }
 
 // New returns a server over store. It panics on a nil store: a server
@@ -209,8 +309,10 @@ func New(store ContentStore, cfg Config) *Server {
 		panic("server: nil content store")
 	}
 	s := &Server{
-		store: store,
-		cfg:   cfg,
+		store:   store,
+		cfg:     cfg,
+		metrics: newServerMetrics(cfg.Obs),
+		tracer:  cfg.Tracer,
 	}
 	for i := range s.ranks {
 		s.ranks[i].rank = popularity.NewRanking()
@@ -286,11 +388,14 @@ func (s *Server) Ranking() *popularity.Ranking {
 // Stats returns a snapshot of the counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		DemandRequests:   s.stats.demandRequests.Load(),
-		PrefetchRequests: s.stats.prefetchRequests.Load(),
-		NotFound:         s.stats.notFound.Load(),
-		HintsIssued:      s.stats.hintsIssued.Load(),
-		SessionsStarted:  s.stats.sessionsStarted.Load(),
+		DemandRequests:   s.metrics.demandRequests.Value(),
+		PrefetchRequests: s.metrics.prefetchRequests.Value(),
+		NotFound:         s.metrics.notFound.Value(),
+		HintsIssued:      s.metrics.hintsIssued.Value(),
+		SessionsStarted:  s.metrics.sessionsStarted.Value(),
+		SessionsExpired:  s.metrics.sessionsExpired.Value(),
+		HintFetches:      s.metrics.hintFetches.Value(),
+		HintHits:         s.metrics.hintHits.Value(),
 	}
 }
 
@@ -318,10 +423,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	start := time.Now()
 	url := r.URL.Path
 	doc, ok := s.store.Lookup(url)
 	if !ok {
-		s.stats.notFound.Add(1)
+		s.metrics.notFound.Inc()
 		http.NotFound(w, r)
 		return
 	}
@@ -329,8 +435,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	isPrefetch := r.Header.Get(HeaderPrefetchFetch) != ""
 	var hints []markov.Prediction
 	if isPrefetch {
-		s.stats.prefetchRequests.Add(1)
+		s.metrics.prefetchRequests.Inc()
+		s.metrics.prefetchBytes.Add(int64(len(doc.Body)))
+		s.observePrefetchFetch(clientOf(r), url)
 	} else {
+		s.metrics.demandRequests.Inc()
+		s.metrics.demandBytes.Add(int64(len(doc.Body)))
 		hints = s.observeDemand(clientOf(r), url)
 	}
 
@@ -343,10 +453,31 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", ct)
 	w.Header().Set("Content-Length", strconv.Itoa(len(doc.Body)))
+	if isPrefetch {
+		s.metrics.prefetchLatency.Observe(time.Since(start))
+	} else {
+		s.metrics.demandLatency.Observe(time.Since(start))
+	}
 	if r.Method == http.MethodHead {
 		return
 	}
 	w.Write(doc.Body) //nolint:errcheck // client disconnects are not server errors
+}
+
+// observePrefetchFetch credits a hint-driven prefetch against the
+// client's outstanding hints. It only reads the client's context; a
+// prefetch does not open sessions or extend the idle clock.
+func (s *Server) observePrefetchFetch(client, url string) {
+	sh := s.shard(client)
+	sh.mu.Lock()
+	ctx := sh.contexts[client]
+	// The hint stays outstanding: a later demand click for it is the
+	// prediction coming true, which hintHits counts separately.
+	hit := ctx != nil && ctx.hintedIndex(url) >= 0
+	sh.mu.Unlock()
+	if hit {
+		s.metrics.hintFetches.Inc()
+	}
 }
 
 // observeDemand updates the client's session context, popularity, and
@@ -354,8 +485,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // the client's context shard (and briefly the ranking mutex) is locked;
 // prediction and store lookups run lock-free on a context snapshot.
 func (s *Server) observeDemand(client, url string) []markov.Prediction {
+	span := s.tracer.Start()
 	now := s.cfg.now()
-	s.stats.demandRequests.Add(1)
 	s.observeRank(url)
 
 	sh := s.shard(client)
@@ -368,10 +499,18 @@ func (s *Server) observeDemand(client, url string) []markov.Prediction {
 		}
 		ctx = &clientContext{}
 		sh.contexts[client] = ctx
-		s.stats.sessionsStarted.Add(1)
+		s.metrics.sessionsStarted.Inc()
+	}
+	// A demand click on a previously hinted URL confirms the prediction;
+	// consume the hint so one issuance counts at most one hit.
+	hintHit := false
+	if i := ctx.hintedIndex(url); i >= 0 {
+		ctx.hinted = append(ctx.hinted[:i], ctx.hinted[i+1:]...)
+		hintHit = true
 	}
 	ctx.urls = append(ctx.urls, url)
 	ctx.last = now
+	span.Mark(obs.StageSession)
 	// Snapshot the context tail so prediction runs without the shard
 	// lock (a concurrent request from the same client may append to
 	// ctx.urls). Only the tail is copied: every shipped model matches at
@@ -386,15 +525,21 @@ func (s *Server) observeDemand(client, url string) []markov.Prediction {
 	copy(snapshot, tail)
 	sh.mu.Unlock()
 
+	if hintHit {
+		s.metrics.hintHits.Inc()
+	}
 	if ended != nil && s.cfg.OnSessionEnd != nil {
 		s.cfg.OnSessionEnd(client, ended.urls, ended.last)
 	}
+	span.Mark(obs.StageContext)
 
 	pred := s.predictor()
 	if pred == nil {
+		span.Finish(client, url)
 		return nil
 	}
 	preds := pred.Predict(snapshot)
+	span.Mark(obs.StagePredict)
 	out := preds[:0]
 	for _, p := range preds {
 		if doc, ok := s.store.Lookup(p.URL); !ok || int64(len(doc.Body)) > s.cfg.maxHintBytes() {
@@ -405,7 +550,24 @@ func (s *Server) observeDemand(client, url string) []markov.Prediction {
 			break
 		}
 	}
-	s.stats.hintsIssued.Add(int64(len(out)))
+	s.metrics.hintsIssued.Add(int64(len(out)))
+	if len(out) > 0 {
+		// Remember what was hinted so later requests can close the
+		// precision loop. Re-locking is required — prediction above ran
+		// without the shard lock — and the context is re-fetched because
+		// an expiry may have removed it meanwhile.
+		sh.mu.Lock()
+		if ctx := sh.contexts[client]; ctx != nil {
+			urls := make([]string, len(out))
+			for i, p := range out {
+				urls[i] = p.URL
+			}
+			ctx.recordHinted(urls)
+		}
+		sh.mu.Unlock()
+	}
+	span.Mark(obs.StageHints)
+	span.Finish(client, url)
 	return out
 }
 
@@ -444,6 +606,7 @@ func (s *Server) ExpireSessions() int {
 		}
 		sh.mu.Unlock()
 	}
+	s.metrics.sessionsExpired.Add(int64(len(ended)))
 	if s.cfg.OnSessionEnd != nil {
 		for _, e := range ended {
 			s.cfg.OnSessionEnd(e.client, e.ctx.urls, e.ctx.last)

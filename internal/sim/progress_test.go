@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"testing"
+
+	"pbppm/internal/session"
+)
+
+// TestProgressReporting replays a small workload with a tight progress
+// interval and checks the callback cadence and the final snapshot.
+func TestProgressReporting(t *testing.T) {
+	sizes := map[string]int64{"/a": 1000, "/b": 1000, "/c": 1000}
+	test := []session.Session{
+		mkSession("c1", 0, sizes, "/a", "/b", "/c"),
+		mkSession("c2", 100, sizes, "/a", "/b"),
+	}
+
+	var snaps []Progress
+	Run(test, Options{
+		Sizes:         sizes,
+		ProgressEvery: 2,
+		OnProgress:    func(p Progress) { snaps = append(snaps, p) },
+	})
+
+	// 5 events, every 2 → at 2, 4, and the final report at 5.
+	if len(snaps) != 3 {
+		t.Fatalf("got %d progress snapshots, want 3: %+v", len(snaps), snaps)
+	}
+	if snaps[0].Events != 2 || snaps[1].Events != 4 || snaps[2].Events != 5 {
+		t.Errorf("snapshot events = %d,%d,%d, want 2,4,5",
+			snaps[0].Events, snaps[1].Events, snaps[2].Events)
+	}
+	final := snaps[len(snaps)-1]
+	if final.TotalEvents != 5 {
+		t.Errorf("TotalEvents = %d, want 5", final.TotalEvents)
+	}
+	if final.HitRatio < 0 || final.HitRatio > 1 {
+		t.Errorf("HitRatio = %v out of range", final.HitRatio)
+	}
+	if final.EventsPerSec <= 0 {
+		t.Errorf("EventsPerSec = %v, want > 0", final.EventsPerSec)
+	}
+}
+
+// TestProgressDisabledByDefault makes sure a nil OnProgress costs
+// nothing and changes nothing.
+func TestProgressDisabledByDefault(t *testing.T) {
+	sizes := map[string]int64{"/a": 1000}
+	test := []session.Session{mkSession("c1", 0, sizes, "/a")}
+	res := Run(test, Options{Sizes: sizes})
+	if res.Requests != 1 {
+		t.Errorf("Requests = %d, want 1", res.Requests)
+	}
+}
+
+// TestProgressNoEvents: an empty replay must not emit a final report.
+func TestProgressNoEvents(t *testing.T) {
+	called := false
+	Run(nil, Options{OnProgress: func(Progress) { called = true }})
+	if called {
+		t.Error("OnProgress called for an empty replay")
+	}
+}

@@ -86,6 +86,31 @@ type Options struct {
 	// one built from the training window too avoids zero-size prefetch
 	// estimates for unseen documents.
 	Sizes map[string]int64
+	// OnProgress, if set, receives a Progress snapshot every
+	// ProgressEvery replayed page views and once more when the replay
+	// ends, so long trace replays are no longer opaque. It is called
+	// synchronously from the replay loop and must be cheap.
+	OnProgress func(Progress)
+	// ProgressEvery is the page-view interval between OnProgress calls;
+	// zero selects 50000.
+	ProgressEvery int
+}
+
+// Progress is a snapshot of a running replay, delivered to
+// Options.OnProgress.
+type Progress struct {
+	// Events is the number of page views replayed so far; TotalEvents
+	// the number the replay will process.
+	Events      int64
+	TotalEvents int64
+	// HitRatio is the partial hit ratio over the events replayed so far.
+	HitRatio float64
+	// PrefetchHits is the partial prefetch-hit count.
+	PrefetchHits int64
+	// Elapsed is wall-clock time since the replay started; EventsPerSec
+	// the replay throughput over that span.
+	Elapsed      time.Duration
+	EventsPerSec float64
 }
 
 func (o Options) maxPrefetch() int64 {
@@ -140,6 +165,13 @@ func (o Options) newCache(capacity int64) cache.Policy {
 		return cache.NewGDSF(capacity)
 	}
 	return cache.NewLRU(capacity)
+}
+
+func (o Options) progressEvery() int {
+	if o.ProgressEvery <= 0 {
+		return 50000
+	}
+	return o.ProgressEvery
 }
 
 func (o Options) popularMin() popularity.Grade {
@@ -250,7 +282,24 @@ func Run(test []session.Session, opt Options) metrics.Result {
 	// contexts tracks each in-flight session's clicked URLs so far.
 	contexts := make(map[int][]string, len(test))
 
-	for _, ev := range events {
+	replayStart := time.Now()
+	every := opt.progressEvery()
+	report := func(done int64) {
+		elapsed := time.Since(replayStart)
+		p := Progress{
+			Events:       done,
+			TotalEvents:  int64(len(events)),
+			HitRatio:     res.HitRatio(),
+			PrefetchHits: res.PrefetchHits,
+			Elapsed:      elapsed,
+		}
+		if secs := elapsed.Seconds(); secs > 0 {
+			p.EventsPerSec = float64(done) / secs
+		}
+		opt.OnProgress(p)
+	}
+
+	for evIdx, ev := range events {
 		v := test[ev.session].Views[ev.view]
 		size := v.TotalBytes()
 		res.Requests++
@@ -329,30 +378,35 @@ func Run(test []session.Session, opt Options) metrics.Result {
 				opt.Predictor.TrainSequence(test[ev.session].URLs())
 			}
 		}
-		if opt.Predictor == nil || !reachedServer || len(ctx) == 0 {
-			continue
-		}
-		for _, p := range opt.Predictor.Predict(ctx) {
-			psize, known := sizes[p.URL]
-			if !known || psize > maxPf {
-				continue
-			}
-			if proxy != nil {
-				// §5: the server pushes predicted documents to the proxy.
-				if proxy.Contains(p.URL) {
+		if opt.Predictor != nil && reachedServer && len(ctx) > 0 {
+			for _, p := range opt.Predictor.Predict(ctx) {
+				psize, known := sizes[p.URL]
+				if !known || psize > maxPf {
 					continue
 				}
-				proxy.Put(p.URL, psize, true)
-			} else {
-				if browser.Contains(p.URL) {
-					continue
+				if proxy != nil {
+					// §5: the server pushes predicted documents to the proxy.
+					if proxy.Contains(p.URL) {
+						continue
+					}
+					proxy.Put(p.URL, psize, true)
+				} else {
+					if browser.Contains(p.URL) {
+						continue
+					}
+					browser.Put(p.URL, psize, true)
 				}
-				browser.Put(p.URL, psize, true)
+				res.TransferredBytes += psize
+				res.PrefetchedBytes += psize
+				res.PrefetchedDocs++
 			}
-			res.TransferredBytes += psize
-			res.PrefetchedBytes += psize
-			res.PrefetchedDocs++
 		}
+		if opt.OnProgress != nil && (evIdx+1)%every == 0 {
+			report(int64(evIdx + 1))
+		}
+	}
+	if opt.OnProgress != nil && len(events) > 0 {
+		report(int64(len(events)))
 	}
 
 	res.Nodes = 0
