@@ -35,7 +35,11 @@ func main() {
 	}
 	defer f.Close()
 
-	var tree *markov.Tree
+	// Decode to the common Predictor interface; everything below goes
+	// through markov.StatsOf / markov.TreeHolder so model statistics
+	// have a single implementation shared with the benchmark artifacts
+	// and the server's model-health gauges.
+	var pred markov.Predictor
 	var extra string
 	switch *modelType {
 	case "pb":
@@ -45,33 +49,37 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		tree = m.Tree()
+		pred = m
 		extra = fmt.Sprintf("duplicated links: %d\n", m.LinkCount())
 	case "ppm":
 		m, err := ppm.DecodeModel(f)
 		if err != nil {
 			fatal(err)
 		}
-		tree = m.Tree()
+		pred = m
 		extra = fmt.Sprintf("model: %s\n", m.Name())
 	case "lrs":
 		m, err := lrs.DecodeModel(f)
 		if err != nil {
 			fatal(err)
 		}
-		tree = m.Tree()
+		pred = m
 		extra = fmt.Sprintf("repeating patterns: %d\n", len(m.Patterns()))
 	default:
 		fmt.Fprintf(os.Stderr, "modelinfo: unknown type %q\n", *modelType)
 		os.Exit(2)
 	}
 
+	st, ok := markov.StatsOf(pred)
+	if !ok {
+		fatal(fmt.Errorf("model %s exposes no prediction tree", pred.Name()))
+	}
 	fmt.Printf("%s (%s)\n", flag.Arg(0), *modelType)
-	fmt.Print(tree.Stats())
+	fmt.Print(st)
 	fmt.Print(extra)
 	if *top > 0 {
 		fmt.Println("hot branches:")
-		for _, b := range tree.TopBranches(*top) {
+		for _, b := range pred.(markov.TreeHolder).Tree().TopBranches(*top) {
 			fmt.Printf("  %-40s %.3f\n", b.URL, b.Probability)
 		}
 	}

@@ -6,6 +6,7 @@
 //
 //	prefetchsim [-trace file | -profile nasa|ucbcs] [-model pb|ppm|3ppm|lrs|none]
 //	            [-train-days N] [-threshold P] [-max-prefetch BYTES] [-proxy]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -28,6 +29,12 @@ import (
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain returns the exit code so the deferred profile stop runs
+// before the process exits.
+func realMain() int {
 	var (
 		traceFile   = flag.String("trace", "", "Common Log Format trace file (overrides -profile)")
 		profileName = flag.String("profile", "nasa", "synthetic workload: nasa or ucbcs")
@@ -39,12 +46,25 @@ func main() {
 		saveModel   = flag.String("save-model", "", "write the trained model to this file (inspect with modelinfo)")
 		progress    = flag.Int("progress", 0, "log replay progress every N events (0 = silent)")
 	)
+	var prof obs.ProfileFlags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prefetchsim: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "prefetchsim: %v\n", err)
+		}
+	}()
 
 	w, err := loadWorkload(*traceFile, *profileName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "prefetchsim: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 
 	k := *trainDays
@@ -53,7 +73,7 @@ func main() {
 	}
 	if k < 1 || k >= w.Days() {
 		fmt.Fprintf(os.Stderr, "prefetchsim: train-days %d out of range for a %d-day trace\n", k, w.Days())
-		os.Exit(2)
+		return 2
 	}
 	train := w.DaySessions(0, k)
 	test := w.DaySessions(k, k+1)
@@ -85,7 +105,7 @@ func main() {
 		pred = nil
 	default:
 		fmt.Fprintf(os.Stderr, "prefetchsim: unknown model %q\n", *modelName)
-		os.Exit(2)
+		return 2
 	}
 	if maxBytes == 0 {
 		maxBytes = sim.DefaultMaxPrefetchBytes
@@ -101,7 +121,7 @@ func main() {
 	if *saveModel != "" && pred != nil {
 		if err := persistModel(*saveModel, pred); err != nil {
 			fmt.Fprintf(os.Stderr, "prefetchsim: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "prefetchsim: model written to %s\n", *saveModel)
 	}
@@ -160,6 +180,7 @@ func main() {
 	tb.AddRow("train time", trainTime.Round(time.Millisecond).String())
 	tb.AddRow("replay time", simTime.Round(time.Millisecond).String())
 	fmt.Print(tb.String())
+	return 0
 }
 
 // persistModel writes the trained model for later inspection.

@@ -24,27 +24,45 @@ import (
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain returns the exit code so the deferred profile stop runs
+// before the process exits.
+func realMain() int {
 	var (
 		serverURL = flag.String("server", "http://127.0.0.1:8080", "prefetching server base URL")
 		maxReqs   = flag.Int("max-requests", 0, "stop after this many requests (0 = whole trace)")
 		noWait    = flag.Bool("no-wait", false, "do not wait for background prefetches between clicks")
 		progress  = flag.Int("progress", 0, "log replay progress every N requests (0 = silent)")
 	)
+	var prof obs.ProfileFlags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: replay [-server URL] trace.log")
-		os.Exit(2)
+		return 2
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "replay: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "replay: %v\n", err)
+		}
+	}()
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "replay: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	tr, skipped, err := trace.ReadCLF(f)
 	f.Close()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "replay: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	if skipped > 0 {
 		fmt.Fprintf(os.Stderr, "replay: skipped %d unparseable lines\n", skipped)
@@ -65,14 +83,14 @@ func main() {
 			cl, err = server.NewClient(server.ClientConfig{ID: s.Client, BaseURL: *serverURL})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "replay: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 			clients[s.Client] = cl
 		}
 		for _, v := range s.Views {
 			if *maxReqs > 0 && requests >= *maxReqs {
 				report(requests, hits, prefetchHits, errors, len(clients))
-				return
+				return 0
 			}
 			src, err := cl.Get(v.URL)
 			requests++
@@ -103,6 +121,7 @@ func main() {
 		cl.Wait()
 	}
 	report(requests, hits, prefetchHits, errors, len(clients))
+	return 0
 }
 
 func report(requests, hits, prefetchHits, errors, clients int) {

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	tracegen [-profile nasa|ucbcs] [-days N] [-sessions N] [-pages N]
-//	         [-seed N] [-o trace.log]
+//	         [-seed N] [-o trace.log] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -12,11 +12,18 @@ import (
 	"fmt"
 	"os"
 
+	"pbppm/internal/obs"
 	"pbppm/internal/trace"
 	"pbppm/internal/tracegen"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain returns the exit code so the deferred profile stop runs
+// before the process exits.
+func realMain() int {
 	var (
 		profileName = flag.String("profile", "nasa", "workload profile: nasa or ucbcs")
 		days        = flag.Int("days", 0, "override number of days (0 = profile default)")
@@ -27,6 +34,8 @@ func main() {
 		split       = flag.Bool("split", false, "write one file per day: <o>.day<N> (requires -o)")
 		anonSalt    = flag.String("anonymize", "", "replace client identifiers with salted pseudonyms")
 	)
+	var prof obs.ProfileFlags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
 
 	var p tracegen.Profile
@@ -37,7 +46,7 @@ func main() {
 		p = tracegen.UCBCS()
 	default:
 		fmt.Fprintf(os.Stderr, "tracegen: unknown profile %q (want nasa or ucbcs)\n", *profileName)
-		os.Exit(2)
+		return 2
 	}
 	if *days > 0 {
 		p.Days = *days
@@ -52,10 +61,21 @@ func main() {
 		p.Seed = *seed
 	}
 
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		}
+	}()
+
 	tr, err := tracegen.Generate(p)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	if *anonSalt != "" {
 		tr = tr.Anonymize(*anonSalt)
@@ -64,25 +84,25 @@ func main() {
 	if *split {
 		if *out == "" {
 			fmt.Fprintln(os.Stderr, "tracegen: -split requires -o")
-			os.Exit(2)
+			return 2
 		}
 		for day, sub := range tr.SplitByDay() {
 			name := fmt.Sprintf("%s.day%d", *out, day)
 			f, err := os.Create(name)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 			if err := trace.WriteCLF(f, sub); err != nil {
 				f.Close()
 				fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 			f.Close()
 		}
 		fmt.Fprintf(os.Stderr, "tracegen: wrote %d records into per-day files %s.dayN\n",
 			len(tr.Records), *out)
-		return
+		return 0
 	}
 
 	w := os.Stdout
@@ -90,15 +110,16 @@ func main() {
 		f, err := os.Create(*out)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := trace.WriteCLF(w, tr); err != nil {
 		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Fprintf(os.Stderr, "tracegen: wrote %d records over %d days (profile %s, seed %d)\n",
 		len(tr.Records), tr.Days(), p.Name, p.Seed)
+	return 0
 }

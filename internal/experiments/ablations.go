@@ -26,7 +26,7 @@ func pbVariant(w *Workload, cfg core.Config, maxPrefetch int64) (res, base metri
 	}
 	rank := Ranking(train)
 	model := core.New(rank, cfg)
-	sim.Train(model, train)
+	w.Hooks.Phases.Time(sim.PhaseTrain, func() { sim.Train(model, train) })
 
 	opt := sim.Options{
 		Predictor:        model,
@@ -35,6 +35,7 @@ func pbVariant(w *Workload, cfg core.Config, maxPrefetch int64) (res, base metri
 		Grades:           rank,
 		Sizes:            w.Sizes,
 	}
+	w.Hooks.apply(&opt)
 	res = sim.Run(test, opt)
 
 	baseOpt := opt
@@ -192,7 +193,7 @@ func RunAblationCachePolicy(w *Workload) (*Ablation, error) {
 	test := w.DaySessions(trainDays, trainDays+1)
 	rank := Ranking(train)
 	model := core.New(rank, core.Config{RelProbCutoff: 0.01, DropSingletons: w.DropSingletons})
-	sim.Train(model, train)
+	w.Hooks.Phases.Time(sim.PhaseTrain, func() { sim.Train(model, train) })
 
 	for _, v := range []struct {
 		label  string
@@ -209,6 +210,7 @@ func RunAblationCachePolicy(w *Workload) (*Ablation, error) {
 			Sizes:            w.Sizes,
 			CachePolicy:      v.policy,
 		}
+		w.Hooks.apply(&opt)
 		res := sim.Run(test, opt)
 		baseOpt := opt
 		baseOpt.Predictor = nil
@@ -244,7 +246,7 @@ func RunAblationBlending(w *Workload) (*Ablation, error) {
 		{"blended orders", ppm.Config{BlendOrders: true}},
 	} {
 		model := ppm.New(v.cfg)
-		sim.Train(model, train)
+		w.Hooks.Phases.Time(sim.PhaseTrain, func() { sim.Train(model, train) })
 		opt := sim.Options{
 			Predictor:        model,
 			MaxPrefetchBytes: sim.DefaultMaxPrefetchBytes,
@@ -252,6 +254,7 @@ func RunAblationBlending(w *Workload) (*Ablation, error) {
 			Grades:           rank,
 			Sizes:            w.Sizes,
 		}
+		w.Hooks.apply(&opt)
 		res := sim.Run(test, opt)
 		baseOpt := opt
 		baseOpt.Predictor = nil
@@ -286,7 +289,7 @@ func RunAblationOnlineTraining(w *Workload) (*Ablation, error) {
 		{"online updates during test day", true},
 	} {
 		model := core.New(rank, core.Config{RelProbCutoff: 0.01, DropSingletons: w.DropSingletons})
-		sim.Train(model, train)
+		w.Hooks.Phases.Time(sim.PhaseTrain, func() { sim.Train(model, train) })
 		opt := sim.Options{
 			Predictor:        model,
 			MaxPrefetchBytes: sim.PBMaxPrefetchBytes,
@@ -295,6 +298,7 @@ func RunAblationOnlineTraining(w *Workload) (*Ablation, error) {
 			Sizes:            w.Sizes,
 			OnlineTraining:   v.online,
 		}
+		w.Hooks.apply(&opt)
 		res := sim.Run(test, opt)
 		baseOpt := opt
 		baseOpt.Predictor = nil

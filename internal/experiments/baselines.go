@@ -39,6 +39,7 @@ func RunBaselines(w *Workload) (*Baselines, error) {
 	rank := Ranking(train)
 
 	common := sim.Options{Path: w.Path, Grades: rank, Sizes: w.Sizes}
+	w.Hooks.apply(&common)
 	runs := []sim.NamedRun{}
 	add := func(name string, opt sim.Options) {
 		runs = append(runs, sim.NamedRun{Name: name, Options: opt})
@@ -67,7 +68,9 @@ func RunBaselines(w *Workload) (*Baselines, error) {
 	o.MaxPrefetchBytes = sim.PBMaxPrefetchBytes
 	add(ModelPB, o)
 
-	return &Baselines{Workload: w.Name, Results: sim.Compare(train, test, runs)}, nil
+	results := sim.Compare(train, test, runs)
+	w.Hooks.ObserveModels(runs)
+	return &Baselines{Workload: w.Name, Results: results}, nil
 }
 
 // Result returns the named model's metrics (ModelNone for the

@@ -42,7 +42,8 @@ func RunMaintenance(w *Workload) (*Maintenance, error) {
 		return nil, fmt.Errorf("experiments: maintenance: empty first day")
 	}
 	staticModel := factory(Ranking(day0))
-	sim.Train(staticModel, day0)
+	w.Hooks.Phases.Time(sim.PhaseTrain, func() { sim.Train(staticModel, day0) })
+	w.Hooks.ObserveModel("static", staticModel)
 	staticRank := Ranking(day0)
 
 	maint, err := maintain.New(maintain.Config{
@@ -63,10 +64,15 @@ func RunMaintenance(w *Workload) (*Maintenance, error) {
 			continue
 		}
 		// Morning rebuild over all history before day d.
-		daily := maint.Rebuild(w.Trace.Epoch.Add(time.Duration(d) * 24 * time.Hour))
+		var daily markov.Predictor
+		w.Hooks.Phases.Time(sim.PhaseTrain, func() {
+			daily = maint.Rebuild(w.Trace.Epoch.Add(time.Duration(d) * 24 * time.Hour))
+		})
+		w.Hooks.ObserveModel("daily-rebuild", daily)
 		dailyRank := Ranking(w.DaySessions(0, d))
 
 		common := sim.Options{Path: w.Path, Sizes: w.Sizes, MaxPrefetchBytes: sim.PBMaxPrefetchBytes}
+		w.Hooks.apply(&common)
 
 		so := common
 		so.Predictor = staticModel

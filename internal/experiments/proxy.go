@@ -101,10 +101,16 @@ func RunFigure5(w *Workload, cfg Figure5Config) (*Figure5, error) {
 	mLRS := lrs.New(lrs.Config{})
 	mPB4 := core.New(rank, core.Config{RelProbCutoff: relProb, DropSingletons: w.DropSingletons})
 	mPB10 := core.New(rank, core.Config{RelProbCutoff: relProb, DropSingletons: w.DropSingletons})
-	sim.Train(mPPM, train)
-	sim.Train(mLRS, train)
-	sim.Train(mPB4, train)
-	sim.Train(mPB10, train)
+	w.Hooks.Phases.Time(sim.PhaseTrain, func() {
+		sim.Train(mPPM, train)
+		sim.Train(mLRS, train)
+		sim.Train(mPB4, train)
+		sim.Train(mPB10, train)
+	})
+	w.Hooks.ObserveModel(ModelPPM, mPPM)
+	w.Hooks.ObserveModel(ModelLRS, mLRS)
+	w.Hooks.ObserveModel(ModelPB4KB, mPB4)
+	w.Hooks.ObserveModel(ModelPB10KB, mPB10)
 
 	fig := &Figure5{Workload: w.Name}
 	for _, n := range counts {
@@ -128,6 +134,7 @@ func RunFigure5(w *Workload, cfg Figure5Config) (*Figure5, error) {
 			Sizes:    w.Sizes,
 			UseProxy: true,
 		}
+		w.Hooks.apply(&common)
 		row := map[string]metrics.Result{}
 		for _, mc := range []struct {
 			name  string

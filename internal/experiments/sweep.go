@@ -83,6 +83,7 @@ func Sweep(w *Workload, cfg SweepConfig) ([]DayResult, error) {
 			Sizes:           w.Sizes,
 			PredictOnHitToo: cfg.PredictOnHitToo,
 		}
+		w.Hooks.apply(&common)
 		runs := []sim.NamedRun{}
 		addRun := func(name string, opt sim.Options) {
 			runs = append(runs, sim.NamedRun{Name: name, Options: opt})
@@ -114,6 +115,7 @@ func Sweep(w *Workload, cfg SweepConfig) ([]DayResult, error) {
 		addRun(ModelPB, o)
 
 		results := sim.Compare(train, test, runs)
+		w.Hooks.ObserveModels(runs)
 		dr := DayResult{TrainDays: k, Results: make(map[string]metrics.Result, len(results))}
 		for _, r := range results {
 			dr.Results[r.Model] = r

@@ -27,6 +27,10 @@ type Workload struct {
 	// DropSingletons selects PB-PPM's second space optimization, which
 	// the paper enables for the UCB-CS trace.
 	DropSingletons bool
+	// Hooks is optional run instrumentation (phase timing, progress,
+	// model statistics) every experiment threads into its simulator
+	// runs; the zero value disables it.
+	Hooks Hooks
 }
 
 // NewWorkload sessionizes a trace and fits the latency path.

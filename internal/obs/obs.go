@@ -29,6 +29,7 @@ package obs
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -102,12 +103,15 @@ type entry struct {
 }
 
 // family groups all label variants of one metric name under a single
-// HELP/TYPE pair, as the exposition format requires.
+// HELP/TYPE pair, as the exposition format requires. labelNames pins
+// the label-name set of the first registrant; every later member must
+// use the same names in the same order.
 type family struct {
-	name    string
-	help    string
-	kind    metricKind
-	entries []entry
+	name       string
+	help       string
+	kind       metricKind
+	labelNames []string
+	entries    []entry
 }
 
 // Registry holds registered metrics and renders them. The zero value
@@ -134,28 +138,42 @@ func labelSig(labels []Label) string {
 }
 
 // register adds (or finds) the metric for name+labels. Registration is
-// idempotent: re-registering the same name, kind, and label set returns
-// the existing metric, so independently-constructed components can
-// share counters. Conflicting kinds for one name panic: the exposition
-// format cannot express them and it is always a programmer error.
+// idempotent: re-registering the same name, kind, help, and label set
+// returns the existing metric, so independently-constructed components
+// can share counters. Any disagreement with the family's first
+// registrant — a different kind, a different help string, or a
+// different label-name set — panics instead of silently returning the
+// first metric: the exposition format cannot express the conflict, and
+// two call sites that disagree about what a metric means is always a
+// programmer error better caught at startup than in a dashboard.
 func (r *Registry) register(name, help string, kind metricKind, labels []Label, mk func() any) any {
 	if err := checkMetricName(name); err != nil {
 		panic(fmt.Sprintf("obs: %v", err))
 	}
-	for _, l := range labels {
+	names := make([]string, len(labels))
+	for i, l := range labels {
 		if err := checkLabelName(l.Name); err != nil {
 			panic(fmt.Sprintf("obs: metric %s: %v", name, err))
 		}
+		names[i] = l.Name
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f := r.families[name]
 	if f == nil {
-		f = &family{name: name, help: help, kind: kind}
+		f = &family{name: name, help: help, kind: kind, labelNames: names}
 		r.families[name] = f
 	}
 	if f.kind != kind {
 		panic(fmt.Sprintf("obs: metric %s registered as both %s and %s", name, f.kind, kind))
+	}
+	if f.help != help {
+		panic(fmt.Sprintf("obs: metric %s re-registered with conflicting help %q (family has %q)",
+			name, help, f.help))
+	}
+	if !slices.Equal(f.labelNames, names) {
+		panic(fmt.Sprintf("obs: metric %s re-registered with label names %v (family has %v)",
+			name, names, f.labelNames))
 	}
 	sig := labelSig(labels)
 	for _, e := range f.entries {

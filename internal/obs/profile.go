@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// ProfileFlags is the shared -cpuprofile/-memprofile wiring for the
+// offline binaries (reproduce, prefetchsim, replay, tracegen). The
+// long-running server gets live profiles from the admin mux's
+// /debug/pprof instead; batch runs end before a scrape could happen,
+// so they write profile files the way `go test` does.
+//
+//	var prof obs.ProfileFlags
+//	prof.Register(flag.CommandLine)
+//	flag.Parse()
+//	stop, err := prof.Start()
+//	...
+//	defer stop() // or call explicitly before os.Exit
+type ProfileFlags struct {
+	// CPU is the CPU profile path; empty disables CPU profiling.
+	CPU string
+	// Mem is the heap profile path, written by stop; empty disables it.
+	Mem string
+}
+
+// Register installs the -cpuprofile and -memprofile flags on fs.
+func (p *ProfileFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&p.CPU, "cpuprofile", "", "write a CPU profile to this file (open with go tool pprof)")
+	fs.StringVar(&p.Mem, "memprofile", "", "write a heap profile to this file on exit")
+}
+
+// Start begins CPU profiling if -cpuprofile was given and returns a
+// stop function that finishes the CPU profile and writes the heap
+// profile if -memprofile was given. stop is never nil and is safe to
+// call when neither flag was set; it must run before the process
+// exits or the CPU profile will be truncated.
+func (p *ProfileFlags) Start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if p.CPU != "" {
+		cpuFile, err = os.Create(p.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("obs: creating cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("obs: starting cpu profile: %w", err)
+		}
+	}
+	memPath := p.Mem
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("obs: closing cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("obs: creating heap profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the profile reflects retained heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("obs: writing heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// checkPprofFile validates the header of a profile file: runtime/pprof
+// writes gzip-compressed protobuf, so a file `go tool pprof` can open
+// starts with the gzip magic and decompresses to a non-empty payload.
+func checkPprofFile(t *testing.T, path string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Fatalf("%s: missing gzip magic, got % x", path, raw[:min(len(raw), 4)])
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("%s: gzip header: %v", path, err)
+	}
+	payload, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("%s: decompressing: %v", path, err)
+	}
+	if len(payload) == 0 {
+		t.Fatalf("%s: empty profile payload", path)
+	}
+}
+
+func TestProfileFlagsWriteOpenableProfiles(t *testing.T) {
+	dir := t.TempDir()
+	p := ProfileFlags{
+		CPU: filepath.Join(dir, "cpu.pprof"),
+		Mem: filepath.Join(dir, "mem.pprof"),
+	}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU and heap so the profiles have content.
+	sink := 0
+	buf := make([]byte, 0, 1<<16)
+	for i := 0; i < 1<<20; i++ {
+		sink += i % 7
+		if i%1024 == 0 {
+			buf = append(buf, byte(i))
+		}
+	}
+	_ = sink
+	_ = buf
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	checkPprofFile(t, p.CPU)
+	checkPprofFile(t, p.Mem)
+}
+
+// TestProfileFlagsDisabled: with neither flag set, Start and stop are
+// no-ops that must not error or create files.
+func TestProfileFlagsDisabled(t *testing.T) {
+	var p ProfileFlags
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}

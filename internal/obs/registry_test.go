@@ -32,6 +32,44 @@ func TestKindConflictPanics(t *testing.T) {
 	reg.Gauge("x_total", "X.")
 }
 
+// TestConflictingReRegistrationPanics: a second registration that
+// disagrees with the family's help string or label-name set must fail
+// loudly instead of silently returning the first metric.
+func TestConflictingReRegistrationPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+
+	reg := NewRegistry()
+	reg.Counter("y_total", "Original help.", Label{Name: "kind", Value: "a"})
+	mustPanic("help conflict", func() {
+		reg.Counter("y_total", "Different help.", Label{Name: "kind", Value: "a"})
+	})
+	mustPanic("label name conflict", func() {
+		reg.Counter("y_total", "Original help.", Label{Name: "type", Value: "a"})
+	})
+	mustPanic("label arity conflict", func() {
+		reg.Counter("y_total", "Original help.")
+	})
+	mustPanic("histogram help conflict", func() {
+		reg2 := NewRegistry()
+		reg2.Histogram("h_seconds", "H.", nil)
+		reg2.Histogram("h_seconds", "H!", nil)
+	})
+
+	// Same name, help, and label names with a different label VALUE is
+	// the supported family-member case and must keep working.
+	if reg.Counter("y_total", "Original help.", Label{Name: "kind", Value: "b"}) == nil {
+		t.Error("new label value within a family failed")
+	}
+}
+
 func TestInvalidNamesPanic(t *testing.T) {
 	reg := NewRegistry()
 	for name, f := range map[string]func(){

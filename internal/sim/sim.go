@@ -94,11 +94,20 @@ type Options struct {
 	// ProgressEvery is the page-view interval between OnProgress calls;
 	// zero selects 50000.
 	ProgressEvery int
+	// Phases, if set, receives the replay's wall time under
+	// PhaseSimulate and its event count; Compare additionally records
+	// each model's training time under PhaseTrain. Nil disables phase
+	// timing.
+	Phases *PhaseClock
 }
 
 // Progress is a snapshot of a running replay, delivered to
 // Options.OnProgress.
 type Progress struct {
+	// Phase names the run phase the snapshot belongs to (always
+	// PhaseSimulate from Run's replay loop; harnesses layering their
+	// own phases may report others).
+	Phase string
 	// Events is the number of page views replayed so far; TotalEvents
 	// the number the replay will process.
 	Events      int64
@@ -287,6 +296,7 @@ func Run(test []session.Session, opt Options) metrics.Result {
 	report := func(done int64) {
 		elapsed := time.Since(replayStart)
 		p := Progress{
+			Phase:        PhaseSimulate,
 			Events:       done,
 			TotalEvents:  int64(len(events)),
 			HitRatio:     res.HitRatio(),
@@ -408,6 +418,8 @@ func Run(test []session.Session, opt Options) metrics.Result {
 	if opt.OnProgress != nil && len(events) > 0 {
 		report(int64(len(events)))
 	}
+	opt.Phases.Observe(PhaseSimulate, time.Since(replayStart))
+	opt.Phases.AddEvents(int64(len(events)))
 
 	res.Nodes = 0
 	if opt.Predictor != nil {
@@ -436,7 +448,7 @@ func Compare(train, test []session.Session, runs []NamedRun) []metrics.Result {
 	for _, r := range runs {
 		opts := r.Options
 		opts.Sizes = sizes
-		Train(opts.Predictor, train)
+		opts.Phases.Time(PhaseTrain, func() { Train(opts.Predictor, train) })
 		res := Run(test, opts)
 		if r.Name != "" {
 			res.Model = r.Name
