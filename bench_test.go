@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"pbppm/internal/experiments"
+	"pbppm/internal/markov"
 	"pbppm/internal/session"
 	"pbppm/internal/sim"
 	"pbppm/internal/trace"
@@ -289,6 +290,33 @@ func BenchmarkPredictPBPPM(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Predict(contexts[i%len(contexts)])
+	}
+}
+
+// BenchmarkTrainAllSerial measures serial session-by-session training
+// of the height-3 standard PPM model over the 5-day window — the
+// baseline for the sharded-training comparison below. CI runs the pair
+// with GOGC pinned as a train-throughput smoke.
+func BenchmarkTrainAllSerial(b *testing.B) {
+	w := nasaWorkload(b)
+	seqs := sim.URLSequences(benchSessions(b, w, 5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		markov.TrainAll(NewStandardPPM(PPMConfig{Height: 3}), seqs)
+	}
+}
+
+// BenchmarkTrainAllParallel is the same workload through
+// markov.TrainAllParallel: sessions sharded by head URL across
+// GOMAXPROCS workers and merged. On a single-CPU runner it falls back
+// to serial, so the pair also guards against the sharding machinery
+// regressing the serial path.
+func BenchmarkTrainAllParallel(b *testing.B) {
+	w := nasaWorkload(b)
+	seqs := sim.URLSequences(benchSessions(b, w, 5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		markov.TrainAllParallel(NewStandardPPM(PPMConfig{Height: 3}), seqs)
 	}
 }
 

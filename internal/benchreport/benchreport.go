@@ -67,11 +67,14 @@ func CaptureEnvironment() Environment {
 // trained model — the storage side of the paper's accuracy-per-byte
 // claim.
 type ModelStats struct {
-	Model       string `json:"model"`
-	Nodes       int    `json:"nodes"`
-	Leaves      int    `json:"leaves"`
-	MaxDepth    int    `json:"max_depth"`
-	ApproxBytes int64  `json:"approx_bytes"`
+	Model    string `json:"model"`
+	Nodes    int    `json:"nodes"`
+	Leaves   int    `json:"leaves"`
+	MaxDepth int    `json:"max_depth"`
+	// ApproxBytes keeps its historical JSON key for artifact-schema
+	// stability; since the compact tree layout it carries the measured
+	// BytesEstimate rather than a per-node guess.
+	ApproxBytes int64 `json:"approx_bytes"`
 }
 
 // ModelStatsFrom converts a tree walk into the persisted form.
@@ -81,7 +84,7 @@ func ModelStatsFrom(model string, st markov.TreeStats) ModelStats {
 		Nodes:       st.Nodes,
 		Leaves:      st.Leaves,
 		MaxDepth:    st.MaxDepth,
-		ApproxBytes: st.ApproxBytes,
+		ApproxBytes: st.Bytes,
 	}
 }
 
@@ -117,9 +120,9 @@ type Record struct {
 
 // Report is one reproduction run: the BENCH_*.json artifact.
 type Report struct {
-	Schema    int       `json:"schema"`
-	Tool      string    `json:"tool"`
-	Scale     string    `json:"scale,omitempty"`
+	Schema    int         `json:"schema"`
+	Tool      string      `json:"tool"`
+	Scale     string      `json:"scale,omitempty"`
 	CreatedAt time.Time   `json:"created_at"`
 	Env       Environment `json:"env"`
 	Records   []Record    `json:"records"`

@@ -22,8 +22,8 @@ func buildReport() *Report {
 	clock.Observe(sim.PhaseSimulate, 800*time.Millisecond)
 	clock.AddEvents(40000)
 	models := map[string]markov.TreeStats{
-		"PB-PPM":  {Nodes: 1200, Leaves: 700, MaxDepth: 7, ApproxBytes: 150000},
-		"LRS-PPM": {Nodes: 5400, Leaves: 3000, MaxDepth: 9, ApproxBytes: 700000},
+		"PB-PPM":  {Nodes: 1200, Leaves: 700, MaxDepth: 7, Bytes: 150000},
+		"LRS-PPM": {Nodes: 5400, Leaves: 3000, MaxDepth: 9, Bytes: 700000},
 	}
 	rec := NewRecord("fig2", "nasa",
 		Measurement{Wall: 1100 * time.Millisecond, AllocBytes: 5 << 20},

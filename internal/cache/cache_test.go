@@ -210,3 +210,45 @@ func TestMRUSurvivesProperty(t *testing.T) {
 		}
 	}
 }
+
+// TestRePutAccounting pins the grow/shrink accounting on re-Put: used
+// bytes must track the delta exactly, a shrink must free space without
+// evicting, and a grow past capacity must evict older entries — never
+// the re-put entry itself, which was just moved to the front.
+func TestRePutAccounting(t *testing.T) {
+	c := NewLRU(100)
+	c.Put("/a", 40, false)
+	c.Put("/b", 40, false)
+
+	// Shrink: frees 30 bytes, no eviction.
+	c.Put("/a", 10, false)
+	if c.Used() != 50 || c.Len() != 2 {
+		t.Fatalf("after shrink Used=%d Len=%d, want 50/2", c.Used(), c.Len())
+	}
+
+	// Grow within capacity: exact delta.
+	c.Put("/a", 35, false)
+	if c.Used() != 75 || c.Len() != 2 {
+		t.Fatalf("after grow Used=%d Len=%d, want 75/2", c.Used(), c.Len())
+	}
+
+	// Grow past capacity: /b (older) is evicted, /a survives.
+	c.Put("/a", 90, false)
+	if c.Used() != 90 || c.Len() != 1 {
+		t.Fatalf("after big grow Used=%d Len=%d, want 90/1", c.Used(), c.Len())
+	}
+	if c.Contains("/b") {
+		t.Error("older entry /b survived the grow-evict")
+	}
+	if !c.Contains("/a") {
+		t.Error("re-put entry /a was evicted by its own grow")
+	}
+
+	// Accounting stays exact across repeated same-size re-puts.
+	for i := 0; i < 5; i++ {
+		c.Put("/a", 90, false)
+	}
+	if c.Used() != 90 || c.Len() != 1 {
+		t.Errorf("after repeated re-puts Used=%d Len=%d, want 90/1", c.Used(), c.Len())
+	}
+}

@@ -72,12 +72,7 @@ func (c Config) heights() [4]int {
 	return c.Heights
 }
 
-func (c Config) threshold() float64 {
-	if c.Threshold == 0 {
-		return ppm.DefaultThreshold
-	}
-	return c.Threshold
-}
+func (c Config) threshold() float64 { return ppm.ThresholdOrDefault(c.Threshold) }
 
 // Model is a popularity-based PPM predictor.
 type Model struct {
@@ -93,6 +88,7 @@ type Model struct {
 var _ markov.Predictor = (*Model)(nil)
 var _ markov.UtilizationReporter = (*Model)(nil)
 var _ markov.UsageRecorder = (*Model)(nil)
+var _ markov.ShardedTrainer = (*Model)(nil)
 
 // New returns an empty popularity-based model that grades URLs with
 // grades (typically a *popularity.Ranking built from the training
@@ -147,7 +143,7 @@ func (m *Model) TrainSequence(seq []string) {
 
 		// Extend the single open branch (rule 4: each URL is added once).
 		if cur != nil && heightLeft > 0 {
-			child := cur.EnsureChild(u)
+			child := m.tree.EnsureChild(cur, u)
 			child.Count++
 			depth++
 			// Rule 3: a popular URL deeper than the heading URL's
@@ -164,7 +160,7 @@ func (m *Model) TrainSequence(seq []string) {
 		// Open a new root branch at the session head or on a strict
 		// grade ascent; the new branch becomes the open one.
 		if i == 0 || g > prevGrade {
-			root := m.tree.Root.EnsureChild(u)
+			root := m.tree.EnsureChild(m.tree.Root, u)
 			root.Count++
 			m.tree.Root.Count++
 			cur = root
@@ -173,6 +169,29 @@ func (m *Model) TrainSequence(seq []string) {
 			depth = 1
 		}
 		prevGrade = g
+	}
+}
+
+// NewShard returns an empty model sharing the popularity grader and
+// configuration, for markov.TrainAllParallel. The grader is read-only
+// during training, so sharing it across shards is safe.
+func (m *Model) NewShard() markov.Predictor { return New(m.grades, m.cfg) }
+
+// MergeShard folds a shard trained by NewShard back into the model:
+// tree counts are additive and rule-3 link counts fold per (root, url)
+// pair, so shard-trained and serially-trained models are equivalent.
+func (m *Model) MergeShard(shard markov.Predictor) {
+	sh := shard.(*Model)
+	m.tree.Merge(sh.tree)
+	for root, lm := range sh.links {
+		for url, cnt := range lm {
+			dst := m.links[root]
+			if dst == nil {
+				dst = make(map[string]int64)
+				m.links[root] = dst
+			}
+			dst[url] += cnt
+		}
 	}
 }
 
@@ -214,7 +233,7 @@ func (m *Model) Predict(context []string) []markov.Prediction {
 		out = m.tree.PredictFrom(n, thr, order)
 	}
 	cur := context[len(context)-1]
-	if root := m.tree.Root.Child(cur); root != nil && !m.cfg.DisableLinks {
+	if root := m.tree.Child(m.tree.Root, cur); root != nil && !m.cfg.DisableLinks {
 		var linked []markov.Prediction
 		for url, cnt := range m.links[cur] {
 			p := float64(cnt) / float64(root.Count)
@@ -260,7 +279,7 @@ func (m *Model) Optimize() int {
 			return float64(child.Count)/float64(parent.Count) < cut
 		})
 		for rootURL, lm := range m.links {
-			root := m.tree.Root.Child(rootURL)
+			root := m.tree.Child(m.tree.Root, rootURL)
 			if root == nil {
 				// The heading URL itself vanished (possible only via
 				// DropSingletons below on a prior call); drop its links.
@@ -284,7 +303,7 @@ func (m *Model) Optimize() int {
 			return child.Count <= 1
 		})
 		for rootURL, lm := range m.links {
-			if m.tree.Root.Child(rootURL) == nil {
+			if m.tree.Child(m.tree.Root, rootURL) == nil {
 				removed += len(lm)
 				delete(m.links, rootURL)
 				continue
@@ -353,7 +372,7 @@ type Stats struct {
 // Stats computes structural statistics.
 func (m *Model) Stats() Stats {
 	st := Stats{Nodes: m.NodeCount(), Links: m.LinkCount()}
-	for url := range m.tree.Root.Children {
+	m.tree.EachChild(m.tree.Root, func(url string, _ *markov.Node) bool {
 		st.Roots++
 		g := m.grades.GradeOf(url)
 		if g < 0 {
@@ -363,6 +382,7 @@ func (m *Model) Stats() Stats {
 			g = popularity.MaxGrade
 		}
 		st.RootsByGrade[g]++
-	}
+		return true
+	})
 	return st
 }

@@ -6,6 +6,7 @@ import (
 
 	"pbppm/internal/markov"
 	"pbppm/internal/popularity"
+	"pbppm/internal/ppm"
 )
 
 // fig1Grades reproduces the grading of the paper's Figure 1 example:
@@ -28,8 +29,8 @@ func TestFigure1Example(t *testing.T) {
 	if tr.Match([]string{"A2", "B2", "C2"}) == nil {
 		t.Error("branch A2>B2>C2 missing")
 	}
-	if len(tr.Root.Children) != 2 {
-		t.Errorf("roots = %d, want 2 (A and A2)", len(tr.Root.Children))
+	if got := tr.Root.Fanout(); got != 2 {
+		t.Errorf("roots = %d, want 2 (A and A2)", got)
 	}
 	if got := m.LinkCount(); got != 1 {
 		t.Errorf("links = %d, want 1 (A -> dup A2)", got)
@@ -107,15 +108,15 @@ func TestRootCreationOnGradeAscentOnly(t *testing.T) {
 	grades := popularity.FixedGrades{"a": 3, "b": 2, "c": 1, "pop": 3}
 	m := New(grades, Config{})
 	m.TrainSequence([]string{"a", "b", "c", "pop", "b", "c"})
-	roots := m.Tree().Root.Children
-	if len(roots) != 2 {
-		t.Fatalf("roots = %d, want 2 (a and pop)", len(roots))
+	tr := m.Tree()
+	if got := tr.Root.Fanout(); got != 2 {
+		t.Fatalf("roots = %d, want 2 (a and pop)", got)
 	}
-	if roots["a"] == nil || roots["pop"] == nil {
-		t.Errorf("unexpected roots: %v", roots)
+	if tr.Child(tr.Root, "a") == nil || tr.Child(tr.Root, "pop") == nil {
+		t.Error("expected roots a and pop missing")
 	}
 	// Descending URLs must not be roots.
-	if roots["b"] != nil || roots["c"] != nil {
+	if tr.Child(tr.Root, "b") != nil || tr.Child(tr.Root, "c") != nil {
 		t.Error("descending URL became a root")
 	}
 }
@@ -124,8 +125,8 @@ func TestEqualGradeDoesNotOpenRoot(t *testing.T) {
 	grades := popularity.FixedGrades{"a": 2, "b": 2}
 	m := New(grades, Config{})
 	m.TrainSequence([]string{"a", "b"})
-	if len(m.Tree().Root.Children) != 1 {
-		t.Errorf("equal grade opened a root: %v", m.Tree().Root.Children)
+	if got := m.Tree().Root.Fanout(); got != 1 {
+		t.Errorf("equal grade opened a root: fanout %d", got)
 	}
 }
 
@@ -430,19 +431,23 @@ func TestCountConservationProperty(t *testing.T) {
 	var check func(n *markov.Node) bool
 	check = func(n *markov.Node) bool {
 		var sum int64
-		for _, c := range n.Children {
+		ok := true
+		n.EachChild(func(c *markov.Node) bool {
 			sum += c.Count
 			if !check(c) {
+				ok = false
 				return false
 			}
-		}
-		return n != m.Tree().Root && n.Count >= sum || n == m.Tree().Root
+			return true
+		})
+		return ok && n.Count >= sum
 	}
-	for _, c := range m.Tree().Root.Children {
+	m.Tree().Root.EachChild(func(c *markov.Node) bool {
 		if !check(c) {
 			t.Fatal("count conservation violated")
 		}
-	}
+		return true
+	})
 }
 
 // Property: branch depth never exceeds the maximum configured height.
@@ -478,21 +483,90 @@ func TestHeightInvariantProperty(t *testing.T) {
 		t.Errorf("deepest branch %d exceeds maximum height %d", deepest, maxAllowed)
 	}
 	// Stronger: each branch respects its own root's grade height.
-	for rootURL, root := range m.Tree().Root.Children {
+	tr := m.Tree()
+	tr.EachChild(tr.Root, func(rootURL string, root *markov.Node) bool {
 		limit := DefaultHeights[grades.GradeOf(rootURL)]
 		d := depthOf(root)
 		if d > limit {
 			t.Errorf("branch %s depth %d exceeds grade height %d", rootURL, d, limit)
 		}
-	}
+		return true
+	})
 }
 
 func depthOf(n *markov.Node) int {
 	max := 0
-	for _, c := range n.Children {
+	n.EachChild(func(c *markov.Node) bool {
 		if d := depthOf(c); d > max {
 			max = d
 		}
-	}
+		return true
+	})
 	return max + 1
+}
+
+func TestNoThresholdPredictsEverything(t *testing.T) {
+	grades := popularity.FixedGrades{"a": 3}
+	m := New(grades, Config{Threshold: ppm.NoThreshold})
+	for i := 0; i < 9; i++ {
+		m.TrainSequence([]string{"a", "b"})
+	}
+	m.TrainSequence([]string{"a", "c"}) // P(c|a)=0.1, below the default 0.25
+	ps := m.Predict([]string{"a"})
+	if len(ps) != 2 {
+		t.Errorf("Predict with NoThreshold = %+v, want both b and c", ps)
+	}
+}
+
+// TestShardedTrainingEquivalence drives NewShard/MergeShard directly
+// and checks the merged tree, rule-3 link counts, and predictions all
+// equal the serially trained model.
+func TestShardedTrainingEquivalence(t *testing.T) {
+	grades := popularity.FixedGrades{"a": 3, "b": 0, "c": 1, "d": 2, "hot": 3}
+	rng := rand.New(rand.NewSource(77))
+	urls := []string{"a", "b", "c", "d", "hot"}
+	var seqs [][]string
+	for i := 0; i < 120; i++ {
+		s := make([]string, rng.Intn(6)+1)
+		for j := range s {
+			s[j] = urls[rng.Intn(len(urls))]
+		}
+		seqs = append(seqs, s)
+	}
+	serial := New(grades, Config{})
+	markov.TrainAll(serial, seqs)
+
+	sharded := New(grades, Config{})
+	shards := []markov.Predictor{sharded.NewShard(), sharded.NewShard(), sharded.NewShard()}
+	for i, s := range seqs {
+		shards[i%len(shards)].TrainSequence(s)
+	}
+	for _, sh := range shards {
+		sharded.MergeShard(sh)
+	}
+
+	if got, want := sharded.NodeCount(), serial.NodeCount(); got != want {
+		t.Fatalf("NodeCount = %d, serial %d", got, want)
+	}
+	if got, want := sharded.LinkCount(), serial.LinkCount(); got != want {
+		t.Fatalf("LinkCount = %d, serial %d", got, want)
+	}
+	if got, want := sharded.Stats(), serial.Stats(); got != want {
+		t.Fatalf("Stats = %+v, serial %+v", got, want)
+	}
+	for i := 0; i < 200; i++ {
+		ctx := make([]string, rng.Intn(4)+1)
+		for j := range ctx {
+			ctx[j] = urls[rng.Intn(len(urls))]
+		}
+		got, want := sharded.Predict(ctx), serial.Predict(ctx)
+		if len(got) != len(want) {
+			t.Fatalf("ctx %v: %+v vs serial %+v", ctx, got, want)
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("ctx %v: %+v vs serial %+v", ctx, got, want)
+			}
+		}
+	}
 }

@@ -39,12 +39,7 @@ func (c Config) repeat() int64 {
 	return c.RepeatThreshold
 }
 
-func (c Config) threshold() float64 {
-	if c.Threshold == 0 {
-		return ppm.DefaultThreshold
-	}
-	return c.Threshold
-}
+func (c Config) threshold() float64 { return ppm.ThresholdOrDefault(c.Threshold) }
 
 // Model is an LRS-PPM predictor.
 type Model struct {
@@ -62,6 +57,7 @@ type Model struct {
 var _ markov.Predictor = (*Model)(nil)
 var _ markov.UtilizationReporter = (*Model)(nil)
 var _ markov.UsageRecorder = (*Model)(nil)
+var _ markov.ShardedTrainer = (*Model)(nil)
 
 // New returns an empty LRS model.
 func New(cfg Config) *Model {
@@ -81,29 +77,32 @@ func (m *Model) TrainSequence(seq []string) {
 	m.dirty = true
 }
 
-// rebuild materializes the repeating-only prediction tree.
+// rebuild materializes the repeating-only prediction tree. The copy
+// shares the full trie's symbol table (CopyIf), so it costs no URL
+// duplication; that is safe because the model's contract already
+// forbids training concurrently with other methods.
 func (m *Model) rebuild() {
 	if !m.dirty {
 		return
 	}
 	m.dirty = false
 	min := m.cfg.repeat()
-	out := markov.NewTree()
-	out.Root.Count = m.full.Root.Count
-	var copyKept func(src, dst *markov.Node)
-	copyKept = func(src, dst *markov.Node) {
-		for url, c := range src.Children {
-			if c.Count < min {
-				continue
-			}
-			nc := dst.EnsureChild(url)
-			nc.Count = c.Count
-			copyKept(c, nc)
-		}
-	}
-	copyKept(m.full.Root, out.Root)
+	out := m.full.CopyIf(func(_, child *markov.Node) bool {
+		return child.Count >= min
+	})
 	out.SetUsageRecording(m.pruned.UsageRecording())
 	m.pruned = out
+}
+
+// NewShard returns an empty model with the same configuration, for
+// markov.TrainAllParallel.
+func (m *Model) NewShard() markov.Predictor { return New(m.cfg) }
+
+// MergeShard folds a shard trained by NewShard into the full suffix
+// trie; the repeating-only view is rebuilt lazily as usual.
+func (m *Model) MergeShard(shard markov.Predictor) {
+	m.full.Merge(shard.(*Model).full)
+	m.dirty = true
 }
 
 // Predict finds the deepest repeating-sequence node matching the

@@ -201,9 +201,11 @@ func (m *Maintainer) Rebuild(now time.Time) markov.Predictor {
 		}
 	}
 	model := m.cfg.Factory(rank)
-	for _, s := range window {
-		model.TrainSequence(s.URLs())
+	seqs := make([][]string, len(window))
+	for i, s := range window {
+		seqs[i] = s.URLs()
 	}
+	markov.TrainAllParallel(model, seqs)
 	if opt, ok := model.(interface{ Optimize() int }); ok {
 		opt.Optimize()
 	}
@@ -228,7 +230,7 @@ func (m *Maintainer) Rebuild(now time.Time) markov.Predictor {
 		m.metrics.modelBranches.Set(int64(st.Roots))
 		m.metrics.modelLeaves.Set(int64(st.Leaves))
 		m.metrics.modelMaxHeight.Set(int64(st.MaxDepth))
-		m.metrics.modelBytes.Set(st.ApproxBytes)
+		m.metrics.modelBytes.Set(st.Bytes)
 	}
 	m.log.Info("model rebuilt",
 		"model", model.Name(),

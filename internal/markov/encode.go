@@ -2,60 +2,158 @@ package markov
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
 )
 
-// wireNode mirrors Node for gob encoding; the unexported usage mark is
-// deliberately not persisted (it is prediction-phase scratch state).
+// treeMagic prefixes the current (version 2) wire format: ID-based flat
+// nodes plus a URL table. Streams without the prefix are decoded as the
+// legacy version-1 format (a gob of recursive URL-keyed nodes), so
+// models persisted before the compact layout still load. Sniffing is
+// unambiguous for our own files: every legacy stream begins with gob's
+// fixed wireNode type descriptor, which never matches this prefix.
+var treeMagic = []byte("pbppmT2\n")
+
+// wireTree is the version-2 image: every distinct URL once, and the
+// nodes flattened in deterministic (URL-sorted) preorder.
+type wireTree struct {
+	// URLs indexes symbol i+1 (symbol 0 is the pseudo-root).
+	URLs []string
+	// Nodes is the preorder flattening starting at the pseudo-root.
+	Nodes []wireFlatNode
+}
+
+// wireFlatNode is one node of the preorder flattening. Its children are
+// the Kids nodes that follow it (recursively); the unexported usage
+// mark is deliberately not persisted (prediction-phase scratch state).
+type wireFlatNode struct {
+	Sym   uint32
+	Count int64
+	Kids  int32
+}
+
+// wireNode is the legacy version-1 gob image, kept for decoding
+// pre-version-2 model files.
 type wireNode struct {
 	URL      string
 	Count    int64
 	Children map[string]*wireNode
 }
 
-func toWire(n *Node) *wireNode {
-	w := &wireNode{URL: n.URL, Count: n.Count}
-	if len(n.Children) > 0 {
-		w.Children = make(map[string]*wireNode, len(n.Children))
-		for u, c := range n.Children {
-			w.Children[u] = toWire(c)
-		}
-	}
-	return w
-}
-
-func fromWire(w *wireNode) *Node {
-	n := &Node{URL: w.URL, Count: w.Count}
-	if len(w.Children) > 0 {
-		n.Children = make(map[string]*Node, len(w.Children))
-		for u, c := range w.Children {
-			n.Children[u] = fromWire(c)
-		}
-	}
-	return n
-}
-
-// Encode serializes the tree to w. Prediction trees for busy servers are
-// long-lived; persisting them lets a server restart without retraining.
+// Encode serializes the tree to w in the version-2 format. Prediction
+// trees for busy servers are long-lived; persisting them lets a server
+// restart without retraining.
 func (t *Tree) Encode(w io.Writer) error {
+	img := wireTree{URLs: t.syms.urls[1:]}
+	var flatten func(n *Node)
+	flatten = func(n *Node) {
+		idx := len(img.Nodes)
+		img.Nodes = append(img.Nodes, wireFlatNode{Sym: n.sym, Count: n.Count})
+		kids := 0
+		for _, c := range t.sortedChildren(n) {
+			flatten(c)
+			kids++
+		}
+		img.Nodes[idx].Kids = int32(kids)
+	}
+	flatten(t.Root)
+
 	bw := bufio.NewWriter(w)
-	if err := gob.NewEncoder(bw).Encode(toWire(t.Root)); err != nil {
+	if _, err := bw.Write(treeMagic); err != nil {
+		return fmt.Errorf("markov: encoding tree: %w", err)
+	}
+	if err := gob.NewEncoder(bw).Encode(img); err != nil {
 		return fmt.Errorf("markov: encoding tree: %w", err)
 	}
 	return bw.Flush()
 }
 
-// DecodeTree reads a tree previously written by Encode.
+// DecodeTree reads a tree previously written by Encode, accepting both
+// the current version-2 format and the legacy version-1 gob format.
+// Usage recording starts detached on the decoded tree, matching the
+// serving paths that load persisted models.
 func DecodeTree(r io.Reader) (*Tree, error) {
-	var w wireNode
-	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&w); err != nil {
+	br := bufio.NewReader(r)
+	prefix, err := br.Peek(len(treeMagic))
+	if err == nil && bytes.Equal(prefix, treeMagic) {
+		br.Discard(len(treeMagic))
+		return decodeV2(br)
+	}
+	return decodeLegacy(br)
+}
+
+func decodeV2(r io.Reader) (*Tree, error) {
+	var img wireTree
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
 		return nil, fmt.Errorf("markov: decoding tree: %w", err)
 	}
-	root := fromWire(&w)
-	if root.Children == nil {
-		root.Children = make(map[string]*Node)
+	if len(img.Nodes) == 0 {
+		return nil, fmt.Errorf("markov: decoding tree: empty node list")
 	}
-	return &Tree{Root: root}, nil
+	t := &Tree{Root: &Node{}, syms: newSymtab()}
+	// Re-intern in table order so symbols decode to 1..len(URLs),
+	// matching the Sym fields as written.
+	for _, u := range img.URLs {
+		t.syms.intern(u)
+	}
+	maxSym := uint32(len(img.URLs))
+
+	pos := 0
+	var build func(parent *Node) error
+	build = func(parent *Node) error {
+		if pos >= len(img.Nodes) {
+			return fmt.Errorf("markov: decoding tree: truncated node list")
+		}
+		w := img.Nodes[pos]
+		pos++
+		n := parent
+		if parent == nil {
+			if w.Sym != 0 {
+				return fmt.Errorf("markov: decoding tree: root symbol %d", w.Sym)
+			}
+			n = t.Root
+		} else {
+			if w.Sym == 0 || w.Sym > maxSym {
+				return fmt.Errorf("markov: decoding tree: symbol %d out of range", w.Sym)
+			}
+			n = parent.ensureChildSym(w.Sym)
+		}
+		n.Count = w.Count
+		if w.Kids < 0 {
+			return fmt.Errorf("markov: decoding tree: negative child count")
+		}
+		for i := int32(0); i < w.Kids; i++ {
+			if err := build(n); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := build(nil); err != nil {
+		return nil, err
+	}
+	if pos != len(img.Nodes) {
+		return nil, fmt.Errorf("markov: decoding tree: %d trailing nodes", len(img.Nodes)-pos)
+	}
+	return t, nil
+}
+
+func decodeLegacy(r io.Reader) (*Tree, error) {
+	var w wireNode
+	if err := gob.NewDecoder(r).Decode(&w); err != nil {
+		return nil, fmt.Errorf("markov: decoding tree: %w", err)
+	}
+	t := &Tree{Root: &Node{Count: w.Count}, syms: newSymtab()}
+	var build func(dst *Node, src *wireNode)
+	build = func(dst *Node, src *wireNode) {
+		for url, c := range src.Children {
+			nc := dst.ensureChildSym(t.syms.intern(url))
+			nc.Count = c.Count
+			build(nc, c)
+		}
+	}
+	build(t.Root, &w)
+	return t, nil
 }

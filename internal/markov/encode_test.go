@@ -1,0 +1,104 @@
+package markov
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+// legacyWire replicates the version-1 on-disk image (a gob of recursive
+// URL-keyed nodes) so the test can fabricate pre-version-2 model files.
+// Gob matches structs by field names, so the local type name is free.
+type legacyWire struct {
+	URL      string
+	Count    int64
+	Children map[string]*legacyWire
+}
+
+// TestDecodeLegacyFormat fabricates a version-1 stream and checks that
+// DecodeTree still reads it after the version-2 switch.
+func TestDecodeLegacyFormat(t *testing.T) {
+	img := &legacyWire{
+		Count: 4,
+		Children: map[string]*legacyWire{
+			"a": {URL: "a", Count: 3, Children: map[string]*legacyWire{
+				"b": {URL: "b", Count: 2},
+			}},
+			"z": {URL: "z", Count: 1},
+		},
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
+		t.Fatalf("encoding legacy image: %v", err)
+	}
+	tr, err := DecodeTree(&buf)
+	if err != nil {
+		t.Fatalf("DecodeTree(legacy): %v", err)
+	}
+	if tr.Root.Count != 4 {
+		t.Errorf("root count = %d, want 4", tr.Root.Count)
+	}
+	if n := tr.Match([]string{"a", "b"}); n == nil || n.Count != 2 {
+		t.Errorf("a->b = %+v, want count 2", n)
+	}
+	if n := tr.Match([]string{"z"}); n == nil || n.Count != 1 {
+		t.Errorf("z = %+v, want count 1", n)
+	}
+	if got, want := tr.NodeCount(), 3; got != want {
+		t.Errorf("NodeCount = %d, want %d", got, want)
+	}
+	// The legacy-decoded tree keeps working as a live tree.
+	tr.Insert([]string{"a", "b", "c"}, 0, 1)
+	if tr.Match([]string{"a", "b", "c"}) == nil {
+		t.Error("legacy-decoded tree rejects inserts")
+	}
+}
+
+// TestEncodeStartsWithMagic pins the version-2 prefix so a format
+// change cannot silently break the legacy sniffing.
+func TestEncodeStartsWithMagic(t *testing.T) {
+	tr := NewTree()
+	tr.Insert([]string{"a"}, 0, 1)
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), treeMagic) {
+		t.Errorf("encoded stream does not start with the v2 magic: % x", buf.Bytes()[:12])
+	}
+}
+
+func TestEncodeDecodeEmptyTree(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewTree().Encode(&buf); err != nil {
+		t.Fatalf("Encode(empty): %v", err)
+	}
+	tr, err := DecodeTree(&buf)
+	if err != nil {
+		t.Fatalf("DecodeTree(empty): %v", err)
+	}
+	if tr.NodeCount() != 0 || tr.Root.Count != 0 {
+		t.Errorf("empty round trip: %d nodes, root count %d", tr.NodeCount(), tr.Root.Count)
+	}
+	tr.Insert([]string{"a"}, 0, 1)
+	if tr.Match([]string{"a"}) == nil {
+		t.Error("decoded empty tree rejects inserts")
+	}
+}
+
+// TestDecodeTruncatedV2 checks that a short v2 stream errors rather
+// than panicking or returning a partial tree.
+func TestDecodeTruncatedV2(t *testing.T) {
+	tr := NewTree()
+	tr.Insert([]string{"a", "b", "c"}, 0, 2)
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{len(treeMagic) + 1, len(raw) / 2, len(raw) - 1} {
+		if _, err := DecodeTree(bytes.NewReader(raw[:cut])); err == nil {
+			t.Errorf("DecodeTree of %d/%d bytes succeeded", cut, len(raw))
+		}
+	}
+}

@@ -4,6 +4,14 @@
 // matching, threshold-based prediction, pruning, usage marking for the
 // path-utilization metric, and the Predictor interface the simulator
 // drives.
+//
+// Storage layout. URLs are interned into a per-tree symbol table, so a
+// node stores a 4-byte symbol instead of a string and each distinct URL
+// is kept once per tree. Children use a hybrid representation: a slice
+// of (symbol, pointer) pairs sorted by symbol while fan-out is small,
+// promoted to a map above promoteFanout. Together these replace the old
+// unconditional map[string]*Node per node, cutting real memory well
+// below what the paper's node-count space metric suggests.
 package markov
 
 import (
@@ -13,12 +21,60 @@ import (
 	"sync/atomic"
 )
 
+// promoteFanout is the child count above which a node's sorted child
+// slice is promoted to a map. Web prediction trees are heavy-tailed:
+// almost all nodes stay below this and pay 16 bytes per child; the few
+// hub nodes (site front pages, the pseudo-root) get O(1) lookup.
+const promoteFanout = 16
+
+// symtab interns URLs to dense uint32 symbols. Symbol 0 is reserved for
+// the pseudo-root and never assigned to a URL.
+type symtab struct {
+	ids  map[string]uint32
+	urls []string
+}
+
+func newSymtab() *symtab {
+	return &symtab{ids: make(map[string]uint32), urls: []string{""}}
+}
+
+// intern returns the symbol for url, assigning the next free one on
+// first sight.
+func (s *symtab) intern(url string) uint32 {
+	if id, ok := s.ids[url]; ok {
+		return id
+	}
+	id := uint32(len(s.urls))
+	s.urls = append(s.urls, url)
+	s.ids[url] = id
+	return id
+}
+
+// lookup returns the symbol for url without interning.
+func (s *symtab) lookup(url string) (uint32, bool) {
+	id, ok := s.ids[url]
+	return id, ok
+}
+
+// childRef is one entry of the small (slice) child representation.
+type childRef struct {
+	sym  uint32
+	node *Node
+}
+
 // Node is one URL occurrence context in a prediction tree. Count is the
 // number of training accesses that reached this node along its path.
+// The node does not store its URL; the owning Tree's symbol table
+// resolves it (see Tree.URLOf).
 type Node struct {
-	URL      string
-	Count    int64
-	Children map[string]*Node
+	Count int64
+
+	// small holds up to promoteFanout children sorted by symbol; big
+	// replaces it once fan-out exceeds that. At most one is non-nil.
+	small []childRef
+	big   map[uint32]*Node
+
+	sym uint32
 
 	// used records that a prediction-phase lookup reached this node or
 	// predicted it; the path-utilization metric (Figure 2, right) counts
@@ -27,23 +83,107 @@ type Node struct {
 	used atomic.Bool
 }
 
-// Child returns the child for url, or nil.
-func (n *Node) Child(url string) *Node {
-	return n.Children[url]
+// childBySym returns the child with the given symbol, or nil.
+func (n *Node) childBySym(sym uint32) *Node {
+	if n.big != nil {
+		return n.big[sym]
+	}
+	s := n.small
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid].sym < sym {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s) && s[lo].sym == sym {
+		return s[lo].node
+	}
+	return nil
 }
 
-// EnsureChild returns the child for url, creating it with zero count if
-// absent.
-func (n *Node) EnsureChild(url string) *Node {
-	if c := n.Children[url]; c != nil {
+// ensureChildSym returns the child with the given symbol, creating it
+// with zero count if absent and promoting the representation when the
+// slice outgrows promoteFanout.
+func (n *Node) ensureChildSym(sym uint32) *Node {
+	if n.big != nil {
+		if c := n.big[sym]; c != nil {
+			return c
+		}
+		c := &Node{sym: sym}
+		n.big[sym] = c
 		return c
 	}
-	if n.Children == nil {
-		n.Children = make(map[string]*Node)
+	s := n.small
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid].sym < sym {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	c := &Node{URL: url}
-	n.Children[url] = c
+	if lo < len(s) && s[lo].sym == sym {
+		return s[lo].node
+	}
+	c := &Node{sym: sym}
+	if len(s) >= promoteFanout {
+		n.big = make(map[uint32]*Node, len(s)+1)
+		for _, cr := range s {
+			n.big[cr.sym] = cr.node
+		}
+		n.big[sym] = c
+		n.small = nil
+		return c
+	}
+	n.small = append(n.small, childRef{})
+	copy(n.small[lo+1:], n.small[lo:])
+	n.small[lo] = childRef{sym: sym, node: c}
 	return c
+}
+
+// removeChildSym detaches the child with the given symbol, if present.
+func (n *Node) removeChildSym(sym uint32) {
+	if n.big != nil {
+		delete(n.big, sym)
+		return
+	}
+	for i, cr := range n.small {
+		if cr.sym == sym {
+			n.small = append(n.small[:i], n.small[i+1:]...)
+			return
+		}
+	}
+}
+
+// EachChild visits the node's children until fn returns false. The
+// visiting order is unspecified; callers that need determinism sort by
+// URL, as Walk does.
+func (n *Node) EachChild(fn func(c *Node) bool) {
+	if n.big != nil {
+		for _, c := range n.big {
+			if !fn(c) {
+				return
+			}
+		}
+		return
+	}
+	for _, cr := range n.small {
+		if !fn(cr.node) {
+			return
+		}
+	}
+}
+
+// Fanout reports the number of children.
+func (n *Node) Fanout() int {
+	if n.big != nil {
+		return len(n.big)
+	}
+	return len(n.small)
 }
 
 // MarkUsed flags the node as touched by a prediction. It is safe to
@@ -54,7 +194,7 @@ func (n *Node) MarkUsed() { n.used.Store(true) }
 func (n *Node) Used() bool { return n.used.Load() }
 
 // IsLeaf reports whether the node has no children.
-func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+func (n *Node) IsLeaf() bool { return n.Fanout() == 0 }
 
 // Prediction is one prefetch candidate.
 type Prediction struct {
@@ -89,13 +229,6 @@ type Predictor interface {
 	NodeCount() int
 }
 
-// TrainAll folds a batch of sequences into a predictor.
-func TrainAll(p Predictor, seqs [][]string) {
-	for _, s := range seqs {
-		p.TrainSequence(s)
-	}
-}
-
 // UtilizationReporter is implemented by models that can report the
 // fraction of stored root-to-leaf paths actually used by predictions.
 type UtilizationReporter interface {
@@ -122,6 +255,8 @@ type UsageRecorder interface {
 type Tree struct {
 	Root *Node
 
+	syms *symtab
+
 	// recording gates prediction-time usage marking (MarkPath,
 	// PredictFrom). NewTree enables it; serving paths detach it so
 	// predictions on published trees are genuinely read-only.
@@ -130,7 +265,7 @@ type Tree struct {
 
 // NewTree returns an empty tree with usage recording enabled.
 func NewTree() *Tree {
-	t := &Tree{Root: &Node{Children: make(map[string]*Node)}}
+	t := &Tree{Root: &Node{}, syms: newSymtab()}
 	t.recording.Store(true)
 	return t
 }
@@ -140,6 +275,35 @@ func (t *Tree) SetUsageRecording(on bool) { t.recording.Store(on) }
 
 // UsageRecording reports whether prediction-time usage marking is on.
 func (t *Tree) UsageRecording() bool { return t.recording.Load() }
+
+// URLOf resolves a node's URL through the tree's symbol table. The
+// pseudo-root resolves to the empty string.
+func (t *Tree) URLOf(n *Node) string { return t.syms.urls[n.sym] }
+
+// SymbolCount reports the number of distinct URLs interned by the tree.
+func (t *Tree) SymbolCount() int { return len(t.syms.urls) - 1 }
+
+// Child returns n's child for url, or nil. URLs never seen by the tree
+// resolve to nil without mutating the symbol table.
+func (t *Tree) Child(n *Node, url string) *Node {
+	sym, ok := t.syms.lookup(url)
+	if !ok {
+		return nil
+	}
+	return n.childBySym(sym)
+}
+
+// EnsureChild returns n's child for url, creating it with zero count if
+// absent. n must belong to t: the child is keyed by t's symbol for url.
+func (t *Tree) EnsureChild(n *Node, url string) *Node {
+	return n.ensureChildSym(t.syms.intern(url))
+}
+
+// EachChild visits n's children with their URLs until fn returns false.
+// Visiting order is unspecified.
+func (t *Tree) EachChild(n *Node, fn func(url string, c *Node) bool) {
+	n.EachChild(func(c *Node) bool { return fn(t.syms.urls[c.sym], c) })
+}
 
 // Insert adds seq as a branch from the pseudo-root, incrementing counts
 // by weight along the path. maxDepth > 0 truncates the branch to that
@@ -157,7 +321,7 @@ func (t *Tree) Insert(seq []string, maxDepth int, weight int64) {
 		if maxDepth > 0 && i >= maxDepth {
 			break
 		}
-		n = n.EnsureChild(u)
+		n = n.ensureChildSym(t.syms.intern(u))
 		n.Count += weight
 	}
 }
@@ -167,7 +331,11 @@ func (t *Tree) Insert(seq []string, maxDepth int, weight int64) {
 func (t *Tree) Match(seq []string) *Node {
 	n := t.Root
 	for _, u := range seq {
-		n = n.Child(u)
+		sym, ok := t.syms.lookup(u)
+		if !ok {
+			return nil
+		}
+		n = n.childBySym(sym)
 		if n == nil {
 			return nil
 		}
@@ -178,49 +346,99 @@ func (t *Tree) Match(seq []string) *Node {
 	return n
 }
 
+// liveMatch is one still-surviving suffix match during LongestMatch:
+// the context position it started at and the node it has reached.
+type liveMatch struct {
+	start int
+	n     *Node
+}
+
 // LongestMatch finds the deepest node matching the longest suffix of
 // ctx and returns it with the matched order (suffix length). It returns
 // (nil, 0) when no suffix of ctx, not even the final URL alone, is in
 // the tree.
+//
+// The implementation advances every candidate suffix in a single pass
+// over ctx instead of re-walking from the root per suffix (which costs
+// O(len(ctx)²) node hops): at each position all live matches step to
+// the child for the current symbol or die, and a new match rooted at
+// this position joins. The earliest surviving start is the longest
+// suffix.
 func (t *Tree) LongestMatch(ctx []string) (*Node, int) {
-	for i := 0; i < len(ctx); i++ {
-		if n := t.Match(ctx[i:]); n != nil {
-			return n, len(ctx) - i
+	if len(ctx) == 0 {
+		return nil, 0
+	}
+	var live []liveMatch
+	for i, u := range ctx {
+		sym, known := t.syms.lookup(u)
+		if !known {
+			// An unseen URL kills every match running through it.
+			live = live[:0]
+			continue
+		}
+		k := 0
+		for _, lv := range live {
+			if c := lv.n.childBySym(sym); c != nil {
+				live[k] = liveMatch{start: lv.start, n: c}
+				k++
+			}
+		}
+		live = live[:k]
+		if c := t.Root.childBySym(sym); c != nil {
+			live = append(live, liveMatch{start: i, n: c})
 		}
 	}
-	return nil, 0
+	if len(live) == 0 {
+		return nil, 0
+	}
+	// live is ordered by ascending start (new matches join at the back),
+	// so the first survivor is the longest suffix.
+	return live[0].n, len(ctx) - live[0].start
 }
 
-// PredictAt returns the children of n whose conditional probability
+// PredictFrom returns the children of n whose conditional probability
 // (child count over n's count) is at least threshold, ordered by
 // descending probability with URL tie-break for determinism. order is
-// recorded on each prediction. Predicted children are marked used
-// (atomically, so concurrent callers never race).
-func PredictAt(n *Node, threshold float64, order int) []Prediction {
-	return predictAt(n, threshold, order, true)
-}
-
-// PredictFrom is PredictAt honoring the tree's usage-recording gate:
-// when recording is detached the candidates are computed without any
-// writes, keeping predictions on published trees read-only.
+// recorded on each prediction. When usage recording is enabled the
+// predicted children are marked used (atomically, so concurrent callers
+// never race); with recording detached the candidates are computed
+// without any writes.
 func (t *Tree) PredictFrom(n *Node, threshold float64, order int) []Prediction {
-	return predictAt(n, threshold, order, t.recording.Load())
+	return t.predictAt(n, threshold, order, t.recording.Load())
 }
 
-func predictAt(n *Node, threshold float64, order int, mark bool) []Prediction {
+// CandidatesFrom is PredictFrom without any usage marking, regardless
+// of the recording gate. Callers that post-filter the candidate set
+// (blended prediction) use it and then mark only the survivors via
+// MarkPredicted, so the utilization metric counts genuine predictions
+// only.
+func (t *Tree) CandidatesFrom(n *Node, threshold float64, order int) []Prediction {
+	return t.predictAt(n, threshold, order, false)
+}
+
+// MarkPredicted marks one node as used by a prediction, honoring the
+// usage-recording gate.
+func (t *Tree) MarkPredicted(n *Node) {
+	if t.recording.Load() {
+		n.MarkUsed()
+	}
+}
+
+func (t *Tree) predictAt(n *Node, threshold float64, order int, mark bool) []Prediction {
 	if n == nil || n.Count == 0 {
 		return nil
 	}
 	var out []Prediction
-	for _, c := range n.Children {
+	n.EachChild(func(c *Node) bool {
 		p := float64(c.Count) / float64(n.Count)
 		if p >= threshold {
 			if mark {
 				c.MarkUsed()
 			}
-			out = append(out, Prediction{URL: c.URL, Probability: p, Order: order})
+			out = append(out, Prediction{URL: t.syms.urls[c.sym], Probability: p, Order: order})
 		}
-	}
+		return true
+	})
 	SortPredictions(out)
 	return out
 }
@@ -244,28 +462,30 @@ func (t *Tree) NodeCount() int {
 
 func countNodes(n *Node) int {
 	total := 1
-	for _, c := range n.Children {
+	n.EachChild(func(c *Node) bool {
 		total += countNodes(c)
-	}
+		return true
+	})
 	return total
 }
 
 // LeafCount returns the number of leaves (root-to-leaf paths).
 func (t *Tree) LeafCount() int {
-	if len(t.Root.Children) == 0 {
+	if t.Root.IsLeaf() {
 		return 0
 	}
 	return countLeaves(t.Root)
 }
 
 func countLeaves(n *Node) int {
-	if len(n.Children) == 0 {
+	if n.IsLeaf() {
 		return 1
 	}
 	total := 0
-	for _, c := range n.Children {
+	n.EachChild(func(c *Node) bool {
 		total += countLeaves(c)
-	}
+		return true
+	})
 	return total
 }
 
@@ -278,26 +498,28 @@ func countLeaves(n *Node) int {
 // are skipped in favor of the longer match, so their full paths stay
 // unused. An empty tree reports zero.
 func (t *Tree) Utilization() float64 {
+	if t.Root.IsLeaf() {
+		return 0
+	}
 	leaves, used := 0, 0
 	var walk func(n *Node)
 	walk = func(n *Node) {
-		if len(n.Children) == 0 {
+		if n.IsLeaf() {
 			leaves++
 			if n.used.Load() {
 				used++
 			}
 			return
 		}
-		for _, c := range n.Children {
+		n.EachChild(func(c *Node) bool {
 			walk(c)
-		}
+			return true
+		})
 	}
-	if len(t.Root.Children) == 0 {
-		return 0
-	}
-	for _, c := range t.Root.Children {
+	t.Root.EachChild(func(c *Node) bool {
 		walk(c)
-	}
+		return true
+	})
 	if leaves == 0 {
 		return 0
 	}
@@ -309,9 +531,10 @@ func (t *Tree) ResetUsage() {
 	var walk func(n *Node)
 	walk = func(n *Node) {
 		n.used.Store(false)
-		for _, c := range n.Children {
+		n.EachChild(func(c *Node) bool {
 			walk(c)
-		}
+			return true
+		})
 	}
 	walk(t.Root)
 }
@@ -326,7 +549,11 @@ func (t *Tree) MarkPath(seq []string) {
 	}
 	n := t.Root
 	for _, u := range seq {
-		n = n.Child(u)
+		sym, ok := t.syms.lookup(u)
+		if !ok {
+			return
+		}
+		n = n.childBySym(sym)
 		if n == nil {
 			return
 		}
@@ -341,17 +568,35 @@ func (t *Tree) Prune(remove func(parent, child *Node) bool) int {
 	removed := 0
 	var walk func(n *Node)
 	walk = func(n *Node) {
-		for url, c := range n.Children {
+		var doomed []uint32
+		n.EachChild(func(c *Node) bool {
 			if remove(n, c) {
 				removed += countNodes(c)
-				delete(n.Children, url)
-				continue
+				doomed = append(doomed, c.sym)
+			} else {
+				walk(c)
 			}
-			walk(c)
+			return true
+		})
+		for _, sym := range doomed {
+			n.removeChildSym(sym)
 		}
 	}
 	walk(t.Root)
 	return removed
+}
+
+// sortedChildren returns n's children ordered by URL.
+func (t *Tree) sortedChildren(n *Node) []*Node {
+	out := make([]*Node, 0, n.Fanout())
+	n.EachChild(func(c *Node) bool {
+		out = append(out, c)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		return t.syms.urls[out[i].sym] < t.syms.urls[out[j].sym]
+	})
+	return out
 }
 
 // Walk visits every node in depth-first order with its path from the
@@ -360,14 +605,8 @@ func (t *Tree) Prune(remove func(parent, child *Node) bool) int {
 func (t *Tree) Walk(fn func(path []string, n *Node)) {
 	var walk func(prefix []string, n *Node)
 	walk = func(prefix []string, n *Node) {
-		urls := make([]string, 0, len(n.Children))
-		for u := range n.Children {
-			urls = append(urls, u)
-		}
-		sort.Strings(urls)
-		for _, u := range urls {
-			c := n.Children[u]
-			path := append(prefix[:len(prefix):len(prefix)], u)
+		for _, c := range t.sortedChildren(n) {
+			path := append(prefix[:len(prefix):len(prefix)], t.syms.urls[c.sym])
 			fn(path, c)
 			walk(path, c)
 		}
@@ -381,24 +620,72 @@ func (t *Tree) String() string {
 	var sb strings.Builder
 	t.Walk(func(path []string, n *Node) {
 		sb.WriteString(strings.Repeat("  ", len(path)-1))
-		fmt.Fprintf(&sb, "%s/%d\n", n.URL, n.Count)
+		fmt.Fprintf(&sb, "%s/%d\n", path[len(path)-1], n.Count)
 	})
 	return sb.String()
 }
 
 // Merge folds other's counts into t, node by node — the cooperative
 // scenario of the paper's related work where service proxies aggregate
-// prediction state from multiple home servers. other is not modified.
-// Usage marks are not merged (they are prediction-phase scratch).
+// prediction state from multiple home servers, and the fold step of
+// TrainAllParallel. other is not modified. Usage marks are not merged
+// (they are prediction-phase scratch).
 func (t *Tree) Merge(other *Tree) {
 	t.Root.Count += other.Root.Count
+	if t.syms == other.syms {
+		var merge func(dst, src *Node)
+		merge = func(dst, src *Node) {
+			src.EachChild(func(sc *Node) bool {
+				dc := dst.ensureChildSym(sc.sym)
+				dc.Count += sc.Count
+				merge(dc, sc)
+				return true
+			})
+		}
+		merge(t.Root, other.Root)
+		return
+	}
+	// Different symbol tables: translate lazily through a remap slice
+	// (src symbol → dst symbol; 0 marks not-yet-seen, safe because
+	// symbol 0 is reserved for the pseudo-root and never keys a child).
+	remap := make([]uint32, len(other.syms.urls))
 	var merge func(dst, src *Node)
 	merge = func(dst, src *Node) {
-		for url, sc := range src.Children {
-			dc := dst.EnsureChild(url)
+		src.EachChild(func(sc *Node) bool {
+			sym := remap[sc.sym]
+			if sym == 0 {
+				sym = t.syms.intern(other.syms.urls[sc.sym])
+				remap[sc.sym] = sym
+			}
+			dc := dst.ensureChildSym(sym)
 			dc.Count += sc.Count
 			merge(dc, sc)
-		}
+			return true
+		})
 	}
 	merge(t.Root, other.Root)
+}
+
+// CopyIf returns a new tree containing only the nodes for which keep
+// returns true; rejecting a node skips its entire subtree. The copy
+// shares t's symbol table (so it costs no string duplication) and must
+// therefore not be read concurrently with training that mutates t.
+// Usage marks are not copied; recording starts enabled.
+func (t *Tree) CopyIf(keep func(parent, child *Node) bool) *Tree {
+	out := &Tree{Root: &Node{Count: t.Root.Count}, syms: t.syms}
+	out.recording.Store(true)
+	var cp func(src, dst *Node)
+	cp = func(src, dst *Node) {
+		src.EachChild(func(sc *Node) bool {
+			if !keep(src, sc) {
+				return true
+			}
+			dc := dst.ensureChildSym(sc.sym)
+			dc.Count = sc.Count
+			cp(sc, dc)
+			return true
+		})
+	}
+	cp(t.Root, out.Root)
+	return out
 }

@@ -75,6 +75,116 @@ func TestInsertEmptySequence(t *testing.T) {
 	}
 }
 
+func TestTreeChildAndURLOf(t *testing.T) {
+	tr := NewTree()
+	tr.Insert(seq("a", "b"), 0, 1)
+	a := tr.Child(tr.Root, "a")
+	if a == nil || tr.URLOf(a) != "a" {
+		t.Fatalf("Child(root, a) = %+v", a)
+	}
+	if b := tr.Child(a, "b"); b == nil || tr.URLOf(b) != "b" {
+		t.Fatalf("Child(a, b) = %+v", b)
+	}
+	if tr.Child(a, "never-seen") != nil {
+		t.Error("Child on unseen URL != nil")
+	}
+	// Child on an unseen URL must not grow the symbol table.
+	if got := tr.SymbolCount(); got != 2 {
+		t.Errorf("SymbolCount = %d, want 2", got)
+	}
+	c := tr.EnsureChild(a, "c")
+	if c == nil || c.Count != 0 || tr.URLOf(c) != "c" {
+		t.Fatalf("EnsureChild = %+v", c)
+	}
+	if tr.EnsureChild(a, "c") != c {
+		t.Error("EnsureChild not idempotent")
+	}
+}
+
+func TestEachChild(t *testing.T) {
+	tr := NewTree()
+	tr.Insert(seq("a", "b"), 0, 1)
+	tr.Insert(seq("a", "c"), 0, 1)
+	seen := map[string]int64{}
+	tr.EachChild(tr.Match(seq("a")), func(url string, c *Node) bool {
+		seen[url] = c.Count
+		return true
+	})
+	if len(seen) != 2 || seen["b"] != 1 || seen["c"] != 1 {
+		t.Errorf("EachChild saw %v", seen)
+	}
+	// Early stop.
+	visits := 0
+	tr.Match(seq("a")).EachChild(func(c *Node) bool {
+		visits++
+		return false
+	})
+	if visits != 1 {
+		t.Errorf("EachChild ignored stop: %d visits", visits)
+	}
+}
+
+// TestHybridPromotion drives one parent across the slice→map promotion
+// boundary and checks that lookups, counts, ordering, and pruning keep
+// working in the promoted representation.
+func TestHybridPromotion(t *testing.T) {
+	tr := NewTree()
+	const kids = 3 * promoteFanout
+	for i := 0; i < kids; i++ {
+		tr.Insert(seq("hub", url(i)), 0, int64(i+1))
+	}
+	hub := tr.Match(seq("hub"))
+	if hub.Fanout() != kids {
+		t.Fatalf("Fanout = %d, want %d", hub.Fanout(), kids)
+	}
+	for i := 0; i < kids; i++ {
+		n := tr.Match(seq("hub", url(i)))
+		if n == nil || n.Count != int64(i+1) {
+			t.Fatalf("child %d = %+v", i, n)
+		}
+	}
+	if got := tr.NodeCount(); got != kids+1 {
+		t.Errorf("NodeCount = %d, want %d", got, kids+1)
+	}
+	// Walk must stay URL-sorted across the promotion.
+	var prev string
+	walked := 0
+	tr.Walk(func(path []string, n *Node) {
+		if len(path) != 2 {
+			return
+		}
+		if u := path[1]; u < prev {
+			t.Fatalf("walk order broken: %q after %q", u, prev)
+		} else {
+			prev = u
+		}
+		walked++
+	})
+	if walked != kids {
+		t.Errorf("walked %d children, want %d", walked, kids)
+	}
+	// Prune from the promoted map.
+	removed := tr.Prune(func(parent, child *Node) bool {
+		return parent == hub && child.Count <= int64(promoteFanout)
+	})
+	if removed != promoteFanout {
+		t.Errorf("removed = %d, want %d", removed, promoteFanout)
+	}
+	if hub.Fanout() != kids-promoteFanout {
+		t.Errorf("fanout after prune = %d", hub.Fanout())
+	}
+	if tr.Match(seq("hub", url(0))) != nil {
+		t.Error("pruned child still reachable")
+	}
+	if tr.Match(seq("hub", url(kids-1))) == nil {
+		t.Error("surviving child lost")
+	}
+}
+
+func url(i int) string {
+	return "/page-" + string(rune('a'+i/26)) + string(rune('a'+i%26))
+}
+
 func TestLongestMatch(t *testing.T) {
 	tr := NewTree()
 	tr.Insert(seq("a", "b", "c"), 0, 1)
@@ -82,7 +192,7 @@ func TestLongestMatch(t *testing.T) {
 	tr.Insert(seq("c"), 0, 1)
 
 	n, order := tr.LongestMatch(seq("a", "b", "c"))
-	if n == nil || order != 3 || n.URL != "c" {
+	if n == nil || order != 3 || tr.URLOf(n) != "c" {
 		t.Fatalf("LongestMatch(a,b,c) = %+v order %d, want full match", n, order)
 	}
 	n, order = tr.LongestMatch(seq("z", "b", "c"))
@@ -99,7 +209,63 @@ func TestLongestMatch(t *testing.T) {
 	}
 }
 
-func TestPredictAt(t *testing.T) {
+func TestLongestMatchPartialDeepSuffix(t *testing.T) {
+	// A suffix can start matching and die mid-way; a shorter suffix
+	// must still win. a->b exists but a->b->x does not; b->x does not;
+	// x does.
+	tr := NewTree()
+	tr.Insert(seq("a", "b"), 0, 1)
+	tr.Insert(seq("x"), 0, 1)
+	n, order := tr.LongestMatch(seq("a", "b", "x"))
+	if n == nil || order != 1 || tr.URLOf(n) != "x" {
+		t.Fatalf("LongestMatch(a,b,x) = %v order %d, want x at order 1", n, order)
+	}
+	// An unseen URL kills every match running through it.
+	n, order = tr.LongestMatch(seq("a", "unseen", "a", "b"))
+	if n == nil || order != 2 || tr.URLOf(n) != "b" {
+		t.Fatalf("LongestMatch(a,?,a,b) = %v order %d, want a->b", n, order)
+	}
+	if n, _ := tr.LongestMatch(nil); n != nil {
+		t.Error("LongestMatch(nil) != nil")
+	}
+}
+
+// TestLongestMatchAgainstRescan cross-checks the single-pass walk
+// against the definitional per-suffix rescan on random trees/contexts.
+func TestLongestMatchAgainstRescan(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	urls := []string{"a", "b", "c", "d", "e", "zz"}
+	tr := NewTree()
+	for i := 0; i < 400; i++ {
+		s := make([]string, rng.Intn(5)+1)
+		for j := range s {
+			s[j] = urls[rng.Intn(len(urls))]
+		}
+		tr.Insert(s, 0, 1)
+	}
+	rescan := func(ctx []string) (*Node, int) {
+		for i := 0; i < len(ctx); i++ {
+			if n := tr.Match(ctx[i:]); n != nil {
+				return n, len(ctx) - i
+			}
+		}
+		return nil, 0
+	}
+	ctxURLs := append([]string{"unseen"}, urls...)
+	for i := 0; i < 1000; i++ {
+		ctx := make([]string, rng.Intn(7))
+		for j := range ctx {
+			ctx[j] = ctxURLs[rng.Intn(len(ctxURLs))]
+		}
+		wantN, wantOrder := rescan(ctx)
+		gotN, gotOrder := tr.LongestMatch(ctx)
+		if gotN != wantN || gotOrder != wantOrder {
+			t.Fatalf("ctx %v: got (%v, %d), rescan (%v, %d)", ctx, gotN, gotOrder, wantN, wantOrder)
+		}
+	}
+}
+
+func TestPredictFrom(t *testing.T) {
 	tr := NewTree()
 	for i := 0; i < 6; i++ {
 		tr.Insert(seq("a", "b"), 0, 1)
@@ -110,7 +276,7 @@ func TestPredictAt(t *testing.T) {
 	tr.Insert(seq("a", "d"), 0, 1)
 
 	n := tr.Match(seq("a"))
-	ps := PredictAt(n, 0.25, 1)
+	ps := tr.PredictFrom(n, 0.25, 1)
 	if len(ps) != 2 {
 		t.Fatalf("predictions = %+v, want 2 (b: 0.6, c: 0.3)", ps)
 	}
@@ -127,8 +293,31 @@ func TestPredictAt(t *testing.T) {
 	if !tr.Match(seq("a", "b")).Used() {
 		t.Error("predicted child not marked used")
 	}
-	if PredictAt(nil, 0.25, 1) != nil {
-		t.Error("PredictAt(nil) != nil")
+	if tr.PredictFrom(nil, 0.25, 1) != nil {
+		t.Error("PredictFrom(nil) != nil")
+	}
+}
+
+func TestCandidatesFromNeverMarks(t *testing.T) {
+	tr := NewTree()
+	tr.Insert(seq("a", "b"), 0, 3)
+	n := tr.Match(seq("a"))
+	ps := tr.CandidatesFrom(n, 0, 1)
+	if len(ps) != 1 || ps[0].URL != "b" {
+		t.Fatalf("candidates = %+v", ps)
+	}
+	if tr.Match(seq("a", "b")).Used() {
+		t.Error("CandidatesFrom marked a node despite recording being on")
+	}
+	tr.MarkPredicted(tr.Match(seq("a", "b")))
+	if !tr.Match(seq("a", "b")).Used() {
+		t.Error("MarkPredicted did not mark with recording on")
+	}
+	tr.ResetUsage()
+	tr.SetUsageRecording(false)
+	tr.MarkPredicted(tr.Match(seq("a", "b")))
+	if tr.Match(seq("a", "b")).Used() {
+		t.Error("MarkPredicted wrote through a detached recording gate")
 	}
 }
 
@@ -136,7 +325,7 @@ func TestPredictDeterministicTieBreak(t *testing.T) {
 	tr := NewTree()
 	tr.Insert(seq("a", "z"), 0, 1)
 	tr.Insert(seq("a", "b"), 0, 1)
-	ps := PredictAt(tr.Match(seq("a")), 0.1, 1)
+	ps := tr.PredictFrom(tr.Match(seq("a")), 0.1, 1)
 	if len(ps) != 2 || ps[0].URL != "b" || ps[1].URL != "z" {
 		t.Errorf("tie break order = %+v, want b then z", ps)
 	}
@@ -180,9 +369,7 @@ func TestUtilization(t *testing.T) {
 	if got := tr.Utilization(); got != 0 {
 		t.Errorf("utilization after reset = %v, want 0", got)
 	}
-	var empty Tree
-	empty.Root = &Node{}
-	if empty.Utilization() != 0 {
+	if NewTree().Utilization() != 0 {
 		t.Error("empty tree utilization not 0")
 	}
 }
@@ -322,10 +509,11 @@ func TestCountConservationProperty(t *testing.T) {
 	var check func(n *Node)
 	check = func(n *Node) {
 		var sum int64
-		for _, c := range n.Children {
+		n.EachChild(func(c *Node) bool {
 			sum += c.Count
 			check(c)
-		}
+			return true
+		})
 		if n.Count < sum {
 			ok = false
 		}
@@ -336,8 +524,8 @@ func TestCountConservationProperty(t *testing.T) {
 	}
 }
 
-// Property: probabilities emitted by PredictAt with threshold 0 sum to
-// at most 1 and each lies in (0, 1].
+// Property: probabilities emitted with threshold 0 sum to at most 1 and
+// each lies in (0, 1].
 func TestPredictionProbabilityProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	tr := NewTree()
@@ -347,7 +535,7 @@ func TestPredictionProbabilityProperty(t *testing.T) {
 		tr.Insert(s, 0, 1)
 	}
 	n := tr.Match(seq("root"))
-	ps := PredictAt(n, 0, 1)
+	ps := tr.PredictFrom(n, 0, 1)
 	var sum float64
 	for _, p := range ps {
 		if p.Probability <= 0 || p.Probability > 1 {
@@ -365,9 +553,11 @@ func TestMerge(t *testing.T) {
 	a.Insert(seq("x", "y"), 0, 3)
 	a.Insert(seq("z"), 0, 1)
 	b := NewTree()
+	// Interleave an extra URL first so b's symbol ids diverge from a's
+	// and the merge exercises the remap path with conflicting ids.
+	b.Insert(seq("q"), 0, 5)
 	b.Insert(seq("x", "y"), 0, 2)
 	b.Insert(seq("x", "w"), 0, 1)
-	b.Insert(seq("q"), 0, 5)
 
 	a.Merge(b)
 	if n := a.Match(seq("x", "y")); n.Count != 5 {
@@ -379,12 +569,29 @@ func TestMerge(t *testing.T) {
 	if a.Match(seq("x", "w")) == nil || a.Match(seq("q")) == nil {
 		t.Error("merged-in branches missing")
 	}
+	if n := a.Match(seq("q")); a.URLOf(n) != "q" {
+		t.Errorf("remapped URL = %q, want q", a.URLOf(n))
+	}
 	if a.Root.Count != 12 {
 		t.Errorf("root count = %d, want 12", a.Root.Count)
 	}
 	// The source tree is untouched.
 	if b.Match(seq("x", "y")).Count != 2 || b.NodeCount() != 4 {
 		t.Error("merge mutated the source")
+	}
+}
+
+func TestMergeSharedSymbols(t *testing.T) {
+	a := NewTree()
+	a.Insert(seq("x", "y"), 0, 3)
+	b := a.CopyIf(func(parent, child *Node) bool { return true })
+	b.Insert(seq("x", "w"), 0, 2)
+	a.Merge(b)
+	if n := a.Match(seq("x")); n.Count != 8 {
+		t.Errorf("x count = %d, want 8 (3 + copied 3 + 2)", n.Count)
+	}
+	if a.Match(seq("x", "w")) == nil {
+		t.Error("shared-symtab merge lost a branch")
 	}
 }
 
@@ -407,13 +614,37 @@ func TestMergePreservesConservation(t *testing.T) {
 	var check func(n *Node)
 	check = func(n *Node) {
 		var sum int64
-		for _, c := range n.Children {
+		n.EachChild(func(c *Node) bool {
 			sum += c.Count
 			check(c)
-		}
+			return true
+		})
 		if n.Count < sum {
-			t.Fatalf("conservation violated at %s", n.URL)
+			t.Fatalf("conservation violated at count %d < children %d", n.Count, sum)
 		}
 	}
 	check(a.Root)
+}
+
+func TestCopyIf(t *testing.T) {
+	tr := NewTree()
+	tr.Insert(seq("a", "b"), 0, 3)
+	tr.Insert(seq("a", "rare"), 0, 1)
+	tr.Insert(seq("solo"), 0, 1)
+	cp := tr.CopyIf(func(parent, child *Node) bool { return child.Count >= 2 })
+	if cp.Match(seq("a")) == nil || cp.Match(seq("a", "b")) == nil {
+		t.Error("kept branch missing from copy")
+	}
+	if cp.Match(seq("a", "rare")) != nil || cp.Match(seq("solo")) != nil {
+		t.Error("rejected branch present in copy")
+	}
+	if cp.Root.Count != tr.Root.Count {
+		t.Errorf("root count = %d, want %d", cp.Root.Count, tr.Root.Count)
+	}
+	// The copy is independent at the node level: new inserts into the
+	// source do not appear in the copy.
+	tr.Insert(seq("a", "b", "new"), 0, 5)
+	if cp.Match(seq("a", "b", "new")) != nil {
+		t.Error("copy shares nodes with source")
+	}
 }

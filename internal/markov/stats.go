@@ -4,7 +4,15 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"unsafe"
 )
+
+// Per-entry bookkeeping estimate for Go maps: bucket slot shares for
+// key and value plus header/overflow amortization. Maps cannot be
+// measured exactly without runtime internals, so this is the one
+// approximate term in BytesEstimate; everything else is unsafe.Sizeof
+// of the real layout.
+const mapEntryOverhead = 16
 
 // TreeStats summarizes the shape of a prediction tree — the numbers
 // behind the paper's space discussion and useful for capacity planning
@@ -24,15 +32,53 @@ type TreeStats struct {
 	MeanBranching float64
 	// TotalCount is the sum of node counts (training mass).
 	TotalCount int64
-	// ApproxBytes estimates in-memory size: per-node struct, map
-	// entry, and URL string overheads.
-	ApproxBytes int64
+	// Bytes is the measured in-memory size of the tree (see
+	// Tree.BytesEstimate); exported as the pbppm_model_bytes gauge.
+	Bytes int64
+	// Symbols is the number of distinct URLs interned by the tree.
+	Symbols int
+}
+
+// BytesEstimate measures the tree's in-memory size: node structs, child
+// slices and promoted child maps, and the symbol table (each distinct
+// URL stored once, plus intern-map bookkeeping). Struct and slice terms
+// use the real compiled sizes via unsafe.Sizeof; map terms use a
+// documented per-entry estimate.
+func (t *Tree) BytesEstimate() int64 {
+	var bytes int64
+	nodeSize := int64(unsafe.Sizeof(Node{}))
+	refSize := int64(unsafe.Sizeof(childRef{}))
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		bytes += nodeSize
+		if n.big != nil {
+			bytes += 48 + int64(len(n.big))*(int64(unsafe.Sizeof(uint32(0)))+8+mapEntryOverhead)
+		} else {
+			bytes += int64(cap(n.small)) * refSize
+		}
+		n.EachChild(func(c *Node) bool {
+			walk(c)
+			return true
+		})
+	}
+	walk(t.Root)
+
+	// Symbol table: the urls slice backing array (string headers plus
+	// each URL's bytes, stored once) and the intern map.
+	bytes += int64(cap(t.syms.urls)) * int64(unsafe.Sizeof(""))
+	for _, u := range t.syms.urls {
+		bytes += int64(len(u))
+	}
+	bytes += 48 + int64(len(t.syms.ids))*(int64(unsafe.Sizeof(""))+int64(unsafe.Sizeof(uint32(0)))+mapEntryOverhead)
+	return bytes
 }
 
 // Stats computes TreeStats in one walk.
 func (t *Tree) Stats() TreeStats {
 	var st TreeStats
-	st.Roots = len(t.Root.Children)
+	st.Roots = t.Root.Fanout()
+	st.Symbols = t.SymbolCount()
+	st.Bytes = t.BytesEstimate()
 	internal := 0
 	childSum := 0
 	var walk func(n *Node, depth int)
@@ -46,21 +92,21 @@ func (t *Tree) Stats() TreeStats {
 		if depth+1 > st.MaxDepth {
 			st.MaxDepth = depth + 1
 		}
-		// Node struct + map header/bucket share + string header+bytes.
-		st.ApproxBytes += 64 + int64(len(n.URL)) + 48
-		if len(n.Children) == 0 {
+		if n.IsLeaf() {
 			st.Leaves++
 			return
 		}
 		internal++
-		childSum += len(n.Children)
-		for _, c := range n.Children {
+		childSum += n.Fanout()
+		n.EachChild(func(c *Node) bool {
 			walk(c, depth+1)
-		}
+			return true
+		})
 	}
-	for _, c := range t.Root.Children {
+	t.Root.EachChild(func(c *Node) bool {
 		walk(c, 0)
-	}
+		return true
+	})
 	if internal > 0 {
 		st.MeanBranching = float64(childSum) / float64(internal)
 	}
@@ -72,8 +118,8 @@ func (st TreeStats) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "nodes %d (roots %d, leaves %d), max depth %d\n",
 		st.Nodes, st.Roots, st.Leaves, st.MaxDepth)
-	fmt.Fprintf(&sb, "mean branching %.2f, training mass %d, ~%d KiB\n",
-		st.MeanBranching, st.TotalCount, st.ApproxBytes/1024)
+	fmt.Fprintf(&sb, "mean branching %.2f, training mass %d, %d interned URLs, ~%d KiB\n",
+		st.MeanBranching, st.TotalCount, st.Symbols, st.Bytes/1024)
 	sb.WriteString("depth histogram:")
 	for d, n := range st.DepthHistogram {
 		fmt.Fprintf(&sb, " %d:%d", d+1, n)
@@ -103,15 +149,16 @@ func StatsOf(p Predictor) (st TreeStats, ok bool) {
 // TopBranches returns the n highest-count root branches with their
 // counts, descending; a quick view of what the model considers hot.
 func (t *Tree) TopBranches(n int) []Prediction {
-	out := make([]Prediction, 0, len(t.Root.Children))
+	out := make([]Prediction, 0, t.Root.Fanout())
 	total := t.Root.Count
-	for _, c := range t.Root.Children {
+	t.Root.EachChild(func(c *Node) bool {
 		p := 0.0
 		if total > 0 {
 			p = float64(c.Count) / float64(total)
 		}
-		out = append(out, Prediction{URL: c.URL, Probability: p, Order: 1})
-	}
+		out = append(out, Prediction{URL: t.syms.urls[c.sym], Probability: p, Order: 1})
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Probability != out[j].Probability {
 			return out[i].Probability > out[j].Probability

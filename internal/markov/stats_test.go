@@ -36,12 +36,35 @@ func TestTreeStats(t *testing.T) {
 	if st.MeanBranching != 1.5 {
 		t.Errorf("MeanBranching = %v", st.MeanBranching)
 	}
-	if st.ApproxBytes <= 0 {
-		t.Error("ApproxBytes not estimated")
+	if st.Bytes <= 0 {
+		t.Error("Bytes not measured")
+	}
+	if st.Symbols != 5 {
+		t.Errorf("Symbols = %d, want 5", st.Symbols)
 	}
 	out := st.String()
 	if !strings.Contains(out, "nodes 5") || !strings.Contains(out, "depth histogram") {
 		t.Errorf("String:\n%s", out)
+	}
+}
+
+func TestBytesEstimate(t *testing.T) {
+	tr := NewTree()
+	base := tr.BytesEstimate()
+	if base <= 0 {
+		t.Fatalf("empty tree BytesEstimate = %d", base)
+	}
+	tr.Insert([]string{"/a", "/b"}, 0, 1)
+	grown := tr.BytesEstimate()
+	if grown <= base {
+		t.Errorf("BytesEstimate did not grow: %d -> %d", base, grown)
+	}
+	// Interning: re-using the same URLs in a new branch must cost less
+	// than the first branch did (no new string storage).
+	tr.Insert([]string{"/b", "/a"}, 0, 1)
+	reused := tr.BytesEstimate()
+	if reused-grown >= grown-base {
+		t.Errorf("re-used URLs cost as much as fresh ones: +%d vs +%d", reused-grown, grown-base)
 	}
 }
 

@@ -1,0 +1,159 @@
+package markov
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// suffixModel is a minimal ShardedTrainer used to exercise the generic
+// sharding machinery without importing the real models (which have
+// their own parallel-equivalence tests).
+type suffixModel struct {
+	tree *Tree
+}
+
+func newSuffixModel() *suffixModel { return &suffixModel{tree: NewTree()} }
+
+func (m *suffixModel) Name() string { return "suffix-test" }
+func (m *suffixModel) TrainSequence(seq []string) {
+	for i := range seq {
+		m.tree.Insert(seq[i:], 4, 1)
+	}
+}
+func (m *suffixModel) Predict(ctx []string) []Prediction {
+	n, order := m.tree.LongestMatch(ctx)
+	if n == nil {
+		return nil
+	}
+	return m.tree.PredictFrom(n, 0.2, order)
+}
+func (m *suffixModel) NodeCount() int      { return m.tree.NodeCount() }
+func (m *suffixModel) NewShard() Predictor { return newSuffixModel() }
+func (m *suffixModel) MergeShard(s Predictor) {
+	m.tree.Merge(s.(*suffixModel).tree)
+}
+
+// plainModel does not implement ShardedTrainer, forcing the serial
+// fallback.
+type plainModel struct{ tree *Tree }
+
+func newPlainModel() *plainModel { return &plainModel{tree: NewTree()} }
+
+func (m *plainModel) Name() string { return "plain-test" }
+func (m *plainModel) TrainSequence(seq []string) {
+	for i := range seq {
+		m.tree.Insert(seq[i:], 4, 1)
+	}
+}
+func (m *plainModel) Predict(ctx []string) []Prediction { return nil }
+func (m *plainModel) NodeCount() int                    { return m.tree.NodeCount() }
+
+func randomSeqs(seed int64, n int) [][]string {
+	rng := rand.New(rand.NewSource(seed))
+	urls := make([]string, 25)
+	for i := range urls {
+		urls[i] = url(i)
+	}
+	out := make([][]string, n)
+	for i := range out {
+		s := make([]string, rng.Intn(6)+1)
+		for j := range s {
+			s[j] = urls[rng.Intn(len(urls))]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TestTrainAllParallelEquivalence forces multiple workers (the test
+// machine may have one CPU) and checks that sharded training produces
+// exactly the serial model: same node count and identical predictions.
+func TestTrainAllParallelEquivalence(t *testing.T) {
+	seqs := randomSeqs(7, 500)
+	serial := newSuffixModel()
+	TrainAll(serial, seqs)
+
+	for _, workers := range []int{2, 3, 8} {
+		sharded := newSuffixModel()
+		trainAllWorkers(sharded, seqs, workers)
+		if got, want := sharded.NodeCount(), serial.NodeCount(); got != want {
+			t.Fatalf("workers=%d: NodeCount %d, serial %d", workers, got, want)
+		}
+		rng := rand.New(rand.NewSource(13))
+		urls := make([]string, 26)
+		for i := range urls {
+			urls[i] = url(i)
+		}
+		for i := 0; i < 500; i++ {
+			ctx := make([]string, rng.Intn(5))
+			for j := range ctx {
+				ctx[j] = urls[rng.Intn(len(urls))]
+			}
+			if got, want := sharded.Predict(ctx), serial.Predict(ctx); !reflect.DeepEqual(got, want) {
+				t.Fatalf("workers=%d ctx %v:\n got %+v\nwant %+v", workers, ctx, got, want)
+			}
+		}
+	}
+}
+
+// TestTrainAllParallelDeterministic checks that two sharded runs with
+// the same worker count produce identical trees (String is the
+// deterministic render).
+func TestTrainAllParallelDeterministic(t *testing.T) {
+	seqs := randomSeqs(21, 300)
+	a, b := newSuffixModel(), newSuffixModel()
+	trainAllWorkers(a, seqs, 4)
+	trainAllWorkers(b, seqs, 4)
+	if a.tree.String() != b.tree.String() {
+		t.Error("identical sharded runs produced different trees")
+	}
+}
+
+// TestTrainAllParallelFallbacks covers the serial fallbacks: a model
+// without sharding support, a single worker, and a small batch.
+func TestTrainAllParallelFallbacks(t *testing.T) {
+	seqs := randomSeqs(3, 100)
+	serial := newSuffixModel()
+	TrainAll(serial, seqs)
+
+	nonSharded := newPlainModel()
+	trainAllWorkers(nonSharded, seqs, 8)
+	if nonSharded.NodeCount() != serial.NodeCount() {
+		t.Error("non-sharded fallback diverged")
+	}
+
+	oneWorker := newSuffixModel()
+	trainAllWorkers(oneWorker, seqs, 1)
+	if oneWorker.NodeCount() != serial.NodeCount() {
+		t.Error("single-worker fallback diverged")
+	}
+
+	small := randomSeqs(5, minParallelSeqs-1)
+	smallSerial, smallPar := newSuffixModel(), newSuffixModel()
+	TrainAll(smallSerial, small)
+	trainAllWorkers(smallPar, small, 8)
+	if smallPar.NodeCount() != smallSerial.NodeCount() {
+		t.Error("small-batch fallback diverged")
+	}
+}
+
+// TestTrainAllParallelSkipsEmptySequences checks empty sequences are
+// ignored, matching Insert's no-op on empty input.
+func TestTrainAllParallelSkipsEmptySequences(t *testing.T) {
+	seqs := randomSeqs(9, 200)
+	withEmpties := make([][]string, 0, len(seqs)+10)
+	for i, s := range seqs {
+		withEmpties = append(withEmpties, s)
+		if i%20 == 0 {
+			withEmpties = append(withEmpties, nil, []string{})
+		}
+	}
+	serial := newSuffixModel()
+	TrainAll(serial, seqs)
+	par := newSuffixModel()
+	trainAllWorkers(par, withEmpties, 4)
+	if par.NodeCount() != serial.NodeCount() {
+		t.Errorf("empty sequences changed the model: %d vs %d nodes", par.NodeCount(), serial.NodeCount())
+	}
+}

@@ -33,12 +33,28 @@ type Config struct {
 // models in the paper (§4.1).
 const DefaultThreshold = 0.25
 
-func (c Config) threshold() float64 {
-	if c.Threshold == 0 {
+// NoThreshold is the sentinel for a genuine zero probability threshold
+// (every candidate passes). A zero Config.Threshold keeps selecting
+// DefaultThreshold — the zero Config value must stay the paper's setup
+// — so zero itself is expressed as any negative value.
+const NoThreshold = -1
+
+// ThresholdOrDefault resolves a configured prediction threshold the
+// same way for all three models (ppm, lrs, popularity-based): zero
+// selects DefaultThreshold, negative (NoThreshold) selects a genuine
+// zero, positive values pass through.
+func ThresholdOrDefault(t float64) float64 {
+	switch {
+	case t == 0:
 		return DefaultThreshold
+	case t < 0:
+		return 0
+	default:
+		return t
 	}
-	return c.Threshold
 }
+
+func (c Config) threshold() float64 { return ThresholdOrDefault(c.Threshold) }
 
 // Model is a standard PPM predictor.
 type Model struct {
@@ -49,6 +65,7 @@ type Model struct {
 var _ markov.Predictor = (*Model)(nil)
 var _ markov.UtilizationReporter = (*Model)(nil)
 var _ markov.UsageRecorder = (*Model)(nil)
+var _ markov.ShardedTrainer = (*Model)(nil)
 
 // New returns an empty standard PPM model.
 func New(cfg Config) *Model {
@@ -99,28 +116,44 @@ func (m *Model) Predict(context []string) []markov.Prediction {
 // order's conditional probabilities by 1 - 1/(1+count) (an escape-style
 // confidence in the context's evidence) lets confident deep contexts
 // dominate while order-1 statistics fill in.
+//
+// Candidates are collected without usage marks and only the ones that
+// survive the final blend threshold are marked: the intermediate
+// per-order candidate sets are scratch state, and marking them would
+// inflate the Figure-2 path-utilization metric with URLs that were
+// never actually predicted.
 func (m *Model) predictBlended(ctx []string) []markov.Prediction {
-	best := make(map[string]markov.Prediction)
+	type candidate struct {
+		pred markov.Prediction
+		node *markov.Node
+	}
+	best := make(map[string]candidate)
 	for i := 0; i < len(ctx); i++ {
 		n := m.tree.Match(ctx[i:])
-		if n == nil {
+		if n == nil || n.Count == 0 {
 			continue
 		}
 		order := len(ctx) - i
 		m.tree.MarkPath(ctx[i:])
 		confidence := 1 - 1/(1+float64(n.Count))
-		for _, p := range m.tree.PredictFrom(n, 0, order) {
-			p.Probability *= confidence
-			if b, ok := best[p.URL]; !ok || p.Probability > b.Probability {
-				best[p.URL] = p
+		m.tree.EachChild(n, func(url string, c *markov.Node) bool {
+			p := markov.Prediction{
+				URL:         url,
+				Probability: float64(c.Count) / float64(n.Count) * confidence,
+				Order:       order,
 			}
-		}
+			if b, ok := best[url]; !ok || p.Probability > b.pred.Probability {
+				best[url] = candidate{pred: p, node: c}
+			}
+			return true
+		})
 	}
 	thr := m.cfg.threshold()
 	out := make([]markov.Prediction, 0, len(best))
-	for _, p := range best {
-		if p.Probability >= thr {
-			out = append(out, p)
+	for _, c := range best {
+		if c.pred.Probability >= thr {
+			m.tree.MarkPredicted(c.node)
+			out = append(out, c.pred)
 		}
 	}
 	if len(out) == 0 {
@@ -128,6 +161,17 @@ func (m *Model) predictBlended(ctx []string) []markov.Prediction {
 	}
 	markov.SortPredictions(out)
 	return out
+}
+
+// NewShard returns an empty model with the same configuration, for
+// markov.TrainAllParallel.
+func (m *Model) NewShard() markov.Predictor { return New(m.cfg) }
+
+// MergeShard folds a shard trained by NewShard back into the model.
+// Counts are additive, so shard-trained and serially-trained models are
+// equivalent.
+func (m *Model) MergeShard(shard markov.Predictor) {
+	m.tree.Merge(shard.(*Model).tree)
 }
 
 // NodeCount reports the storage requirement in URL nodes.

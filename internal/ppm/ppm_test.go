@@ -212,3 +212,106 @@ func TestBlendedNoMatch(t *testing.T) {
 		t.Errorf("Predict = %+v", got)
 	}
 }
+
+func TestThresholdOrDefault(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, DefaultThreshold}, // zero Config keeps the paper's setup
+		{NoThreshold, 0},      // sentinel: genuinely no threshold
+		{-3.5, 0},             // any negative means no threshold
+		{0.4, 0.4},
+		{1, 1},
+	}
+	for _, c := range cases {
+		if got := ThresholdOrDefault(c.in); got != c.want {
+			t.Errorf("ThresholdOrDefault(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNoThresholdPredictsEverything(t *testing.T) {
+	m := New(Config{Threshold: NoThreshold})
+	for i := 0; i < 9; i++ {
+		m.TrainSequence([]string{"a", "b"})
+	}
+	m.TrainSequence([]string{"a", "c"}) // P(c|a)=0.1, below the default 0.25
+	ps := m.Predict([]string{"a"})
+	if len(ps) != 2 {
+		t.Errorf("Predict with NoThreshold = %+v, want both b and c", ps)
+	}
+}
+
+// TestBlendedUtilizationMatchesLongestMatch is the regression test for
+// the utilization-inflation bug: blended prediction used to mark every
+// child of every matched context as used, before the blend threshold
+// had filtered them. On this fixed tree the below-threshold candidate
+// a>x must stay unmarked, so blended and longest-match prediction —
+// which predict exactly the same single URL — must report the same
+// path utilization. The old marking made blended report double.
+func TestBlendedUtilizationMatchesLongestMatch(t *testing.T) {
+	train := func(m *Model) {
+		for i := 0; i < 7; i++ {
+			m.TrainSequence([]string{"a", "b"})
+		}
+		m.TrainSequence([]string{"a", "x"}) // P(x|a)=1/8, below 0.25
+	}
+	longest := New(Config{})
+	train(longest)
+	blended := New(Config{BlendOrders: true})
+	train(blended)
+
+	if ps := longest.Predict([]string{"a"}); len(ps) != 1 || ps[0].URL != "b" {
+		t.Fatalf("longest-match Predict = %+v, want only b", ps)
+	}
+	if ps := blended.Predict([]string{"a"}); len(ps) != 1 || ps[0].URL != "b" {
+		t.Fatalf("blended Predict = %+v, want only b", ps)
+	}
+	got, want := blended.Utilization(), longest.Utilization()
+	if want <= 0 {
+		t.Fatalf("longest-match utilization = %v, want > 0", want)
+	}
+	if got != want {
+		t.Errorf("blended Utilization = %v, longest-match = %v: filtered-out candidates were marked as used", got, want)
+	}
+}
+
+// TestShardedTrainingEquivalence drives NewShard/MergeShard directly
+// (TrainAllParallel may legitimately fall back to serial on a
+// single-CPU machine) and checks the merged model equals the serially
+// trained one.
+func TestShardedTrainingEquivalence(t *testing.T) {
+	var seqs [][]string
+	urls := []string{"a", "b", "c", "d", "e"}
+	for i := 0; i < 60; i++ {
+		s := make([]string, i%4+1)
+		for j := range s {
+			s[j] = urls[(i*7+j*3)%len(urls)]
+		}
+		seqs = append(seqs, s)
+	}
+	serial := New(Config{Height: 3})
+	markov.TrainAll(serial, seqs)
+
+	sharded := New(Config{Height: 3})
+	shards := []markov.Predictor{sharded.NewShard(), sharded.NewShard(), sharded.NewShard()}
+	for i, s := range seqs {
+		shards[i%len(shards)].TrainSequence(s)
+	}
+	for _, sh := range shards {
+		sharded.MergeShard(sh)
+	}
+
+	if got, want := sharded.NodeCount(), serial.NodeCount(); got != want {
+		t.Fatalf("NodeCount = %d, serial %d", got, want)
+	}
+	for _, ctx := range [][]string{{"a"}, {"b"}, {"c", "d"}, {"e", "a"}, {"d", "e", "a"}} {
+		got, want := sharded.Predict(ctx), serial.Predict(ctx)
+		if len(got) != len(want) {
+			t.Fatalf("ctx %v: %+v vs serial %+v", ctx, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("ctx %v: %+v vs serial %+v", ctx, got, want)
+			}
+		}
+	}
+}

@@ -213,3 +213,57 @@ func benchModel() *core.Model {
 	}
 	return m
 }
+
+// BenchmarkServerServeHTTPParallelDeepContext is the parallel demand
+// benchmark with sessions long enough that every request hands the
+// model the full predictContextTail-URL context. It isolates the
+// predict path's longest-match cost on deep contexts (a single tree
+// walk over the context, rather than one walk per suffix).
+func BenchmarkServerServeHTTPParallelDeepContext(b *testing.B) {
+	srv := New(benchStore(), Config{Predictor: deepBenchModel()})
+	var id atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := fmt.Sprintf("deep-client-%d", id.Add(1))
+		urls := make([]string, 32)
+		for i := range urls {
+			urls[i] = fmt.Sprintf("/p%d", i%64)
+		}
+		req := httptest.NewRequest(http.MethodGet, "/p0", nil)
+		req.Header.Set(HeaderClientID, client)
+		i := 0
+		// Warm the session past the context tail so every measured
+		// request predicts from a full-depth context.
+		for ; i < predictContextTail; i++ {
+			req.URL.Path = urls[i%len(urls)]
+			srv.ServeHTTP(httptest.NewRecorder(), req)
+		}
+		for pb.Next() {
+			req.URL.Path = urls[i%len(urls)]
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			i++
+		}
+	})
+}
+
+// deepBenchModel trains PB-PPM on long overlapping walks so deep
+// contexts keep matching mid-branch instead of falling off the tree.
+func deepBenchModel() *core.Model {
+	grades := popularity.FixedGrades{}
+	var seq []string
+	for i := 0; i < 32; i++ {
+		url := fmt.Sprintf("/p%d", i)
+		grades[url] = 3
+		seq = append(seq, url)
+	}
+	m := core.New(grades, core.Config{})
+	for rot := 0; rot < 8; rot++ {
+		s := append(append([]string{}, seq[rot:]...), seq[:rot]...)
+		for i := 0; i < 5; i++ {
+			m.TrainSequence(s)
+		}
+	}
+	return m
+}

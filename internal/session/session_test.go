@@ -277,3 +277,45 @@ func TestSessionizeConservesRecordsProperty(t *testing.T) {
 		t.Errorf("records %d != views %d + embedded %d", len(recs), views, embedded)
 	}
 }
+
+// TestIdleSplitExactBoundary pins the paper's "idle for more than 30
+// minutes" rule at exact equality: a gap of exactly the idle timeout
+// stays in one session; one second more splits.
+func TestIdleSplitExactBoundary(t *testing.T) {
+	gap := int(DefaultIdleTimeout / time.Second)
+	same := Sessionize(mktrace(
+		rec(0, "c", "/a.html", 1),
+		rec(gap, "c", "/b.html", 1),
+	), Config{})
+	if len(same) != 1 {
+		t.Errorf("exact %v gap split the session: %d sessions", DefaultIdleTimeout, len(same))
+	}
+	split := Sessionize(mktrace(
+		rec(0, "c", "/a.html", 1),
+		rec(gap+1, "c", "/b.html", 1),
+	), Config{})
+	if len(split) != 2 {
+		t.Errorf("gap of %v+1s did not split: %d sessions", DefaultIdleTimeout, len(split))
+	}
+}
+
+// TestEmbedWindowExactBoundary pins the 10-second embedded-image rule
+// at exact equality: an image exactly DefaultEmbedWindow after the HTML
+// view folds into it; one second more is its own page view.
+func TestEmbedWindowExactBoundary(t *testing.T) {
+	win := int(DefaultEmbedWindow / time.Second)
+	folded := Sessionize(mktrace(
+		rec(0, "c", "/page.html", 1000),
+		rec(win, "c", "/img/a.gif", 50),
+	), Config{})
+	if got := len(folded[0].Views); got != 1 {
+		t.Errorf("image at exactly %v was not folded: %d views", DefaultEmbedWindow, got)
+	}
+	own := Sessionize(mktrace(
+		rec(0, "c", "/page.html", 1000),
+		rec(win+1, "c", "/img/a.gif", 50),
+	), Config{})
+	if got := len(own[0].Views); got != 2 {
+		t.Errorf("image at %v+1s was folded: %d views", DefaultEmbedWindow, got)
+	}
+}

@@ -216,13 +216,12 @@ func BuildSizeTable(sessionSets ...[]session.Session) map[string]int64 {
 	return sizes
 }
 
-// Train folds the training sessions into the predictor and runs its
-// space optimization if it has one. It returns the node count after
-// training, for convenience.
+// Train folds the training sessions into the predictor — sharded
+// across CPUs when the model supports it — and runs its space
+// optimization if it has one. It returns the node count after training,
+// for convenience.
 func Train(p markov.Predictor, train []session.Session) int {
-	for _, s := range train {
-		p.TrainSequence(s.URLs())
-	}
+	markov.TrainAllParallel(p, URLSequences(train))
 	if opt, ok := p.(Optimizer); ok {
 		opt.Optimize()
 	}
