@@ -1,12 +1,17 @@
 // Command prefetchd runs a live HTTP prefetching server over a
 // synthetic site: it pre-trains a popularity-based PPM model from a
-// generated history, serves documents with X-Prefetch hints, keeps
-// learning from live traffic, and periodically rebuilds the model from
-// a sliding session window.
+// generated history, serves documents with X-Prefetch hints, and keeps
+// learning from live traffic. Maintenance is incremental: sessions
+// observed since the last update are delta-merged into the live model
+// every -delta-interval, and a full compaction (window trim, popularity
+// re-ranking, from-scratch retrain) runs every -compact-interval. The
+// legacy -rebuild flag still selects a rebuild-only loop when the
+// incremental intervals are zeroed.
 //
 // Usage:
 //
 //	prefetchd [-addr :8080] [-admin-addr :8081] [-profile nasa|ucbcs]
+//	          [-delta-interval 1m] [-compact-interval 30m]
 //	          [-rebuild 10m] [-trace-sample N] [-log-level info]
 //
 // The admin listener serves /metrics (Prometheus text exposition),
@@ -48,7 +53,9 @@ func main() {
 		addr        = flag.String("addr", ":8080", "serving listen address")
 		adminAddr   = flag.String("admin-addr", ":8081", "admin listen address for /metrics, /healthz, /debug; empty disables")
 		profileName = flag.String("profile", "nasa", "site profile: nasa or ucbcs")
-		rebuild     = flag.Duration("rebuild", 10*time.Minute, "model rebuild interval")
+		rebuild     = flag.Duration("rebuild", 10*time.Minute, "legacy rebuild-only interval, used when -delta-interval is 0")
+		deltaEvery  = flag.Duration("delta-interval", time.Minute, "incremental delta-merge interval (0 disables incremental maintenance)")
+		compactNear = flag.Duration("compact-interval", 30*time.Minute, "full compaction interval for incremental maintenance")
 		traceSample = flag.Int("trace-sample", 0, "sample 1 in N demand requests for predict-path tracing (0 = off)")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, or error")
 	)
@@ -96,10 +103,19 @@ func main() {
 	factory := func(rank *popularity.Ranking) markov.Predictor {
 		return core.New(rank, core.Config{RelProbCutoff: 0.01, DropSingletons: true})
 	}
+	// The server is constructed after the maintainer (the warm model
+	// feeds its Config), so OnPublish closes over this variable; it is
+	// assigned before the maintenance loop starts publishing.
+	var srv *server.Server
 	maint, err := maintain.New(maintain.Config{
 		Factory: factory,
 		Obs:     reg,
 		Logger:  logger,
+		OnPublish: func(p markov.Predictor) {
+			if srv != nil {
+				srv.SetPredictor(p)
+			}
+		},
 	})
 	if err != nil {
 		log.Error("creating maintainer", "err", err)
@@ -121,7 +137,7 @@ func main() {
 	model := maint.Rebuild(time.Now())
 	log.Info("warm model trained", "sessions", len(sessions), "nodes", model.NodeCount())
 
-	srv := server.New(store, server.Config{
+	srv = server.New(store, server.Config{
 		Predictor: model,
 		Obs:       reg,
 		Tracer:    tracer,
@@ -144,14 +160,14 @@ func main() {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
-	go maintLoop(ctx, maint, srv, *rebuild)
+	go maintLoop(ctx, maint, srv, *deltaEvery, *compactNear, *rebuild)
 
 	mux := http.NewServeMux()
 	mux.Handle("/", srv)
 
 	admin := obs.NewAdminMux(reg, nil)
 	admin.HandleFunc("/debug/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeStats(w, srv.Stats(), maint.Rebuilds())
+		writeStats(w, srv.Stats(), maint.Rebuilds(), maint.DeltaMerges())
 	})
 	admin.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -164,7 +180,8 @@ func main() {
 	errs := make(chan error, 2)
 	go func() { errs <- web.ListenAndServe() }()
 	log.Info("serving", "pages", len(site.Pages), "addr", *addr,
-		"profile", p.Name, "rebuild", *rebuild)
+		"profile", p.Name, "delta_interval", *deltaEvery,
+		"compact_interval", *compactNear, "rebuild", *rebuild)
 
 	var adminSrv *http.Server
 	if *adminAddr != "" {
@@ -203,34 +220,53 @@ func main() {
 		"hint_fetches", st.HintFetches,
 		"hint_hits", st.HintHits,
 		"sessions", st.SessionsStarted,
-		"rebuilds", maint.Rebuilds())
+		"rebuilds", maint.Rebuilds(),
+		"delta_merges", maint.DeltaMerges())
 }
 
-// maintLoop periodically rebuilds the model, publishes it to the
-// server, and trims stale client contexts, until ctx is cancelled.
-func maintLoop(ctx context.Context, maint *maintain.Maintainer, srv *server.Server, every time.Duration) {
-	ticker := time.NewTicker(every)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		case now := <-ticker.C:
-			maint.Rebuild(now)
-			if m := maint.Predictor(); m != nil {
-				srv.SetPredictor(m)
-			}
-			srv.ExpireSessions()
-		}
+// maintLoop runs model maintenance until ctx is cancelled. With delta
+// > 0 it runs the incremental schedule (delta merges every delta,
+// compactions every compact); otherwise the legacy rebuild-only loop.
+// Published models reach the server through maintain.Config.OnPublish.
+// Client-context expiry runs on its own ticker so session trimming
+// never waits behind a long compaction.
+func maintLoop(ctx context.Context, maint *maintain.Maintainer, srv *server.Server, delta, compact, rebuild time.Duration) {
+	stop := make(chan struct{})
+	go func() {
+		<-ctx.Done()
+		close(stop)
+	}()
+
+	expireEvery := delta
+	if expireEvery <= 0 {
+		expireEvery = rebuild
 	}
+	go func() {
+		ticker := time.NewTicker(expireEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				srv.ExpireSessions()
+			}
+		}
+	}()
+
+	if delta > 0 {
+		maint.RunIncremental(delta, compact, stop)
+		return
+	}
+	maint.Run(rebuild, stop)
 }
 
 // writeStats renders the plain-text stats snapshot for /debug/stats.
-func writeStats(w http.ResponseWriter, st server.Stats, rebuilds int) {
-	fmt.Fprintf(w, "demand %d\nprefetch %d\nnot-found %d\nhints %d\nhint-fetches %d\nhint-hits %d\nsessions %d\nrebuilds %d\n",
+func writeStats(w http.ResponseWriter, st server.Stats, rebuilds, deltaMerges int) {
+	fmt.Fprintf(w, "demand %d\nprefetch %d\nnot-found %d\nhints %d\nhint-fetches %d\nhint-hits %d\nsessions %d\nrebuilds %d\ndelta-merges %d\n",
 		st.DemandRequests, st.PrefetchRequests, st.NotFound,
 		st.HintsIssued, st.HintFetches, st.HintHits,
-		st.SessionsStarted, rebuilds)
+		st.SessionsStarted, rebuilds, deltaMerges)
 }
 
 // storeFromSite materializes synthetic bodies for every page and image.

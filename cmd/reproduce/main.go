@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	reproduce [-exp all|fig2|fig3|table|fig4|fig5|baselines|maintenance|ablations]
+//	reproduce [-exp all|fig2|fig3|table|fig4|fig5|baselines|maintenance|maintenance-cost|ablations]
 //	          [-workload both|nasa|ucbcs] [-scale full|small] [-csv dir]
 //	          [-bench-out BENCH_run.json] [-compare BENCH_baseline.json]
 //	          [-tol-wall F] [-tol-metric F] [-progress N]
@@ -42,7 +42,7 @@ func main() {
 // before the process exits.
 func realMain() int {
 	var (
-		exp       = flag.String("exp", "all", "experiment: all, fig2, fig3, table, fig4, fig5, baselines, maintenance, ablations")
+		exp       = flag.String("exp", "all", "experiment: all, fig2, fig3, table, fig4, fig5, baselines, maintenance, maintenance-cost, ablations")
 		workload  = flag.String("workload", "both", "workload: both, nasa, ucbcs")
 		scale     = flag.String("scale", "full", "full = paper scale, small = quick check")
 		csvDir    = flag.String("csv", "", "also write each artifact as CSV into this directory")
@@ -271,6 +271,11 @@ func run(w *experiments.Workload, exp, csvDir string, progress int, log *slog.Lo
 			return err
 		}
 	}
+	if all || exp == "maintenance-cost" {
+		if err := runOne("maintenance-cost", fixed("maintenance-cost", func() (artifact, error) { return experiments.RunMaintenanceCost(w) })); err != nil {
+			return err
+		}
+	}
 	if all || exp == "ablations" {
 		for _, runAbl := range []func(*experiments.Workload) (*experiments.Ablation, error){
 			experiments.RunAblationThresholds,
@@ -295,7 +300,7 @@ func run(w *experiments.Workload, exp, csvDir string, progress int, log *slog.Lo
 		}
 	}
 	switch exp {
-	case "all", "fig2", "fig3", "table", "fig4", "fig5", "baselines", "maintenance", "ablations":
+	case "all", "fig2", "fig3", "table", "fig4", "fig5", "baselines", "maintenance", "maintenance-cost", "ablations":
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)

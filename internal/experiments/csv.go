@@ -22,6 +22,7 @@ var (
 	_ CSVWriter = (*Ablation)(nil)
 	_ CSVWriter = (*Baselines)(nil)
 	_ CSVWriter = (*Maintenance)(nil)
+	_ CSVWriter = (*MaintenanceCost)(nil)
 )
 
 func writeAll(w io.Writer, rows [][]string) error {
@@ -123,6 +124,21 @@ func (b *Baselines) WriteCSV(w io.Writer) error {
 	for _, r := range b.Results {
 		rows = append(rows, []string{
 			r.Model, f(r.HitRatio()), f(r.TrafficIncrease()), strconv.Itoa(r.Nodes),
+		})
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits per-day update costs and replay quality for the two
+// maintenance paths.
+func (m *MaintenanceCost) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"day", "delta_seconds", "rebuild_seconds", "delta_hit", "rebuild_hit", "delta_nodes", "rebuild_nodes"}}
+	for i, d := range m.Days {
+		rows = append(rows, []string{
+			strconv.Itoa(d),
+			f(m.DeltaSeconds[i]), f(m.RebuildSeconds[i]),
+			f(m.Delta[i].HitRatio()), f(m.Rebuilt[i].HitRatio()),
+			strconv.Itoa(m.Delta[i].Nodes), strconv.Itoa(m.Rebuilt[i].Nodes),
 		})
 	}
 	return writeAll(w, rows)

@@ -75,6 +75,12 @@ func goldenArtifacts() map[string]CSVWriter {
 			Static: []metrics.Result{goldenResult(ModelPB, 1), goldenResult(ModelPB, 2)},
 			Daily:  []metrics.Result{goldenResult(ModelPB, 3), goldenResult(ModelPB, 4)},
 		},
+		"maintenance-cost": &MaintenanceCost{Workload: "golden", Days: []int{2, 3},
+			DeltaSeconds:   []float64{0.0125, 0.015625},
+			RebuildSeconds: []float64{0.25, 0.5},
+			Delta:          []metrics.Result{goldenResult(ModelPB, 1), goldenResult(ModelPB, 2)},
+			Rebuilt:        []metrics.Result{goldenResult(ModelPB, 3), goldenResult(ModelPB, 4)},
+		},
 	}
 }
 
@@ -93,6 +99,8 @@ var wantShape = map[string]struct {
 	"ablation":    {[]string{"variant", "hit_ratio", "latency_reduction", "traffic_increase", "nodes"}, 2},
 	"baselines":   {[]string{"model", "hit_ratio", "traffic_increase", "nodes"}, 3},
 	"maintenance": {[]string{"day", "static_hit", "daily_hit", "static_nodes", "daily_nodes"}, 2},
+	"maintenance-cost": {[]string{"day", "delta_seconds", "rebuild_seconds",
+		"delta_hit", "rebuild_hit", "delta_nodes", "rebuild_nodes"}, 2},
 }
 
 // TestCSVGolden checks every artifact's CSV export byte-for-byte

@@ -546,6 +546,12 @@ func TestCSVExports(t *testing.T) {
 	}
 	check("maintenance", mn, "day,static_hit", 2)
 
+	mc, err := RunMaintenanceCost(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("maintenance-cost", mc, "day,delta_seconds", 1)
+
 	ab, err := RunAblationLinks(w)
 	if err != nil {
 		t.Fatal(err)

@@ -18,6 +18,7 @@ var (
 	_ Headliner = (*Ablation)(nil)
 	_ Headliner = (*Baselines)(nil)
 	_ Headliner = (*Maintenance)(nil)
+	_ Headliner = (*MaintenanceCost)(nil)
 )
 
 // Headline reports the largest training window's popular share and
@@ -131,5 +132,22 @@ func (m *Maintenance) Headline() map[string]float64 {
 		"hit_ratio_static": m.Static[last].HitRatio(),
 		"hit_ratio_daily":  m.Daily[last].HitRatio(),
 		"nodes_daily":      float64(m.Daily[last].Nodes),
+	}
+}
+
+// Headline reports the final evaluation day's replay quality for the
+// two maintenance paths — the "equal headline metrics" half of the
+// incremental-maintenance claim. The wall-time columns are excluded on
+// purpose: update cost varies with the machine and would flap a
+// regression gate.
+func (m *MaintenanceCost) Headline() map[string]float64 {
+	if len(m.Days) == 0 {
+		return nil
+	}
+	last := len(m.Days) - 1
+	return map[string]float64{
+		"hit_ratio_delta":   m.Delta[last].HitRatio(),
+		"hit_ratio_rebuild": m.Rebuilt[last].HitRatio(),
+		"nodes_rebuild":     float64(m.Rebuilt[last].Nodes),
 	}
 }

@@ -58,6 +58,7 @@ var _ markov.Predictor = (*Model)(nil)
 var _ markov.UtilizationReporter = (*Model)(nil)
 var _ markov.UsageRecorder = (*Model)(nil)
 var _ markov.ShardedTrainer = (*Model)(nil)
+var _ markov.IncrementalTrainer = (*Model)(nil)
 
 // New returns an empty LRS model.
 func New(cfg Config) *Model {
@@ -103,6 +104,19 @@ func (m *Model) NewShard() markov.Predictor { return New(m.cfg) }
 func (m *Model) MergeShard(shard markov.Predictor) {
 	m.full.Merge(shard.(*Model).full)
 	m.dirty = true
+}
+
+// Clone returns a deep copy of the model for incremental maintenance.
+// Both the full suffix trie and the pruned prediction view are copied,
+// so later training or delta merges into the clone can promote
+// sequences across the repeat threshold without touching the receiver.
+func (m *Model) Clone() markov.Predictor {
+	return &Model{
+		cfg:    m.cfg,
+		full:   m.full.Clone(),
+		pruned: m.pruned.Clone(),
+		dirty:  m.dirty,
+	}
 }
 
 // Predict finds the deepest repeating-sequence node matching the

@@ -1,18 +1,34 @@
-// Package maintain implements the periodic model-maintenance loop the
-// paper assumes ("the models are dynamically maintained and updated
-// based on historical data during a period of time"): a sliding window
-// of recent access sessions, an online popularity ranking over that
-// window, and scheduled rebuilds that produce a fresh predictor from
-// the window's contents.
+// Package maintain implements the model-maintenance loop the paper
+// assumes ("the models are dynamically maintained and updated based on
+// historical data during a period of time"): a sliding window of recent
+// access sessions, an online popularity ranking over that window, and
+// scheduled updates that keep the published predictor tracking live
+// traffic.
 //
-// The Maintainer is safe for concurrent use. Each rebuild constructs
-// and trains a fresh model off to the side and then publishes it as an
-// immutable snapshot through an atomic pointer: request-serving
-// goroutines call Observe and Predictor while a rebuild runs, and
-// predictions on a published model are read-only (the maintainer
-// detaches the model's usage recording before publishing — see
-// markov.UsageRecorder). A published model is never trained or mutated
-// again; the next rebuild swaps in a whole new one.
+// Two update paths exist. The incremental path (DeltaMerge) absorbs
+// only the sessions observed since the last update: they accumulate in
+// a bounded staging buffer, are trained into a fresh shard, and the
+// shard is folded into a copy-on-write clone of the live snapshot
+// (markov.IncrementalTrainer), so update cost tracks new traffic, not
+// window size. The full path (Rebuild) is the periodic compaction: it
+// trims expired sessions out of the window, re-derives the popularity
+// ranking, and retrains from scratch — restoring the exact model a
+// cold retrain would produce and re-applying the space optimizations.
+// RunIncremental schedules both; Run is the legacy rebuild-only loop.
+//
+// Both paths are crash-safe: an update that panics, or that would
+// replace a trained model with an empty one (a traffic lull trimming
+// the whole window, clock skew jumping past it), is logged, counted in
+// pbppm_rebuild_skipped_total, and discarded — the previous snapshot
+// stays live instead of blanking or poisoning the server.
+//
+// The Maintainer is safe for concurrent use. Each update constructs
+// its model off to the side and then publishes it as an immutable
+// snapshot through an atomic pointer: request-serving goroutines call
+// Observe and Predictor while an update runs, and predictions on a
+// published model are read-only (usage recording is detached before
+// publishing — see markov.UsageRecorder). A published model is never
+// trained or mutated again; the next update swaps in a whole new one.
 package maintain
 
 import (
@@ -37,6 +53,12 @@ import (
 //	}
 type Factory func(rank *popularity.Ranking) markov.Predictor
 
+// DefaultMaxStaged bounds the delta staging buffer when Config.MaxStaged
+// is zero. When the buffer is full the oldest staged sessions are
+// dropped from staging only — they remain in the sliding window and are
+// recovered by the next compaction.
+const DefaultMaxStaged = 1 << 16
+
 // Config parameterizes a Maintainer.
 type Config struct {
 	// Window is how much history rebuilds train on; zero selects the
@@ -44,11 +66,23 @@ type Config struct {
 	Window time.Duration
 	// Factory builds the model at each rebuild; required.
 	Factory Factory
-	// Obs registers rebuild metrics (count, duration) and model-health
-	// gauges published at snapshot-swap time — node/branch/leaf counts,
-	// max height, and approximate bytes, the live counterpart of the
-	// paper's Figure 4 storage comparison. Nil keeps the metrics
-	// process-internal.
+	// MaxStaged bounds the delta staging buffer (sessions observed since
+	// the last update, awaiting the next delta merge); zero selects
+	// DefaultMaxStaged. Overflow drops the oldest staged sessions, which
+	// stay in the window for the next compaction to recover.
+	MaxStaged int
+	// OnPublish, if set, receives every successfully published snapshot —
+	// initial build, delta merge, or compaction. The HTTP server wires
+	// its SetPredictor here so swaps reach the serving path immediately.
+	// It is called with the maintainer's publish lock held and must not
+	// call back into Rebuild or DeltaMerge.
+	OnPublish func(markov.Predictor)
+	// Obs registers maintenance metrics — rebuild and delta-merge
+	// counters and latencies, the staged-session gauge, skip counters by
+	// reason — and model-health gauges published at snapshot-swap time:
+	// node/branch/leaf counts, max height, and approximate bytes, the
+	// live counterpart of the paper's Figure 4 storage comparison. Nil
+	// keeps the metrics process-internal.
 	Obs *obs.Registry
 	// Logger receives rebuild progress lines, tagged component=maintain;
 	// nil discards them.
@@ -62,29 +96,71 @@ func (c Config) window() time.Duration {
 	return c.Window
 }
 
+func (c Config) maxStaged() int {
+	if c.MaxStaged <= 0 {
+		return DefaultMaxStaged
+	}
+	return c.MaxStaged
+}
+
+// Skip reasons recorded in pbppm_rebuild_skipped_total{reason}.
+const (
+	// skipEmptyWindow: the trimmed window held no sessions while a
+	// trained model was already published.
+	skipEmptyWindow = "empty_window"
+	// skipEmptyModel: training produced an empty model from a non-empty
+	// window (e.g. over-aggressive pruning) while a trained one is live.
+	skipEmptyModel = "empty_model"
+	// skipPanic: the factory, training, or merge panicked.
+	skipPanic = "panic"
+)
+
 // predictorCell boxes the published model so an interface value can sit
 // behind an atomic.Pointer.
 type predictorCell struct{ p markov.Predictor }
 
-// maintainMetrics holds the rebuild-loop metrics and the model-health
+// maintainMetrics holds the update-loop metrics and the model-health
 // gauges, registered when Config.Obs is set (nil-registry safe).
 type maintainMetrics struct {
-	rebuilds       *obs.Counter
-	rebuildSeconds *obs.Histogram
-	windowSessions *obs.Gauge
-	modelNodes     *obs.Gauge
-	modelBranches  *obs.Gauge
-	modelLeaves    *obs.Gauge
-	modelMaxHeight *obs.Gauge
-	modelBytes     *obs.Gauge
+	rebuilds        *obs.Counter
+	rebuildSeconds  *obs.Histogram
+	deltaMerges     *obs.Counter
+	deltaSeconds    *obs.Histogram
+	deltaSessions   *obs.Counter
+	skippedEmptyWin *obs.Counter
+	skippedEmptyMdl *obs.Counter
+	skippedPanic    *obs.Counter
+	stagedSessions  *obs.Gauge
+	stagedDropped   *obs.Counter
+	windowSessions  *obs.Gauge
+	modelNodes      *obs.Gauge
+	modelBranches   *obs.Gauge
+	modelLeaves     *obs.Gauge
+	modelMaxHeight  *obs.Gauge
+	modelBytes      *obs.Gauge
 }
 
 func newMaintainMetrics(reg *obs.Registry) *maintainMetrics {
+	reason := func(v string) obs.Label { return obs.Label{Name: "reason", Value: v} }
+	const skipHelp = "Model updates discarded instead of published, by reason; the previous snapshot stayed live."
 	return &maintainMetrics{
 		rebuilds: reg.Counter("pbppm_rebuilds_total",
-			"Completed model rebuilds."),
+			"Completed full model rebuilds (compactions)."),
 		rebuildSeconds: reg.Histogram("pbppm_rebuild_seconds",
 			"Model rebuild duration: window trim, ranking, training, optimization.", nil),
+		deltaMerges: reg.Counter("pbppm_delta_merges_total",
+			"Completed incremental delta merges (staged sessions folded into a clone of the live model)."),
+		deltaSeconds: reg.Histogram("pbppm_delta_merge_seconds",
+			"Delta-merge duration: shard training, snapshot clone, fold, publish.", nil),
+		deltaSessions: reg.Counter("pbppm_delta_sessions_total",
+			"Sessions absorbed through the incremental delta-merge path."),
+		skippedEmptyWin: reg.Counter("pbppm_rebuild_skipped_total", skipHelp, reason(skipEmptyWindow)),
+		skippedEmptyMdl: reg.Counter("pbppm_rebuild_skipped_total", skipHelp, reason(skipEmptyModel)),
+		skippedPanic:    reg.Counter("pbppm_rebuild_skipped_total", skipHelp, reason(skipPanic)),
+		stagedSessions: reg.Gauge("pbppm_staged_sessions",
+			"Sessions staged for the next incremental delta merge."),
+		stagedDropped: reg.Counter("pbppm_staged_dropped_total",
+			"Oldest staged sessions dropped by the staging bound; the window keeps them for the next compaction."),
 		windowSessions: reg.Gauge("pbppm_window_sessions",
 			"Sessions in the sliding training window at the last rebuild."),
 		modelNodes: reg.Gauge("pbppm_model_nodes",
@@ -100,19 +176,33 @@ func newMaintainMetrics(reg *obs.Registry) *maintainMetrics {
 	}
 }
 
-// Maintainer keeps the sliding session window and the current model.
+// Maintainer keeps the sliding session window, the delta staging
+// buffer, and the current model.
 type Maintainer struct {
 	cfg     Config
 	metrics *maintainMetrics
 	log     *slog.Logger
 
-	mu       sync.RWMutex
-	sessions []session.Session // roughly ordered by start time
+	mu       sync.Mutex
+	sessions []session.Session // the sliding window, roughly ordered by start time
 
-	// current is the published model snapshot, swapped whole by Rebuild
+	// staged holds sessions observed since the last update, awaiting the
+	// next delta merge; stagedHead indexes its first live element so the
+	// overflow bound drops oldest-first in amortized O(1).
+	staged     []session.Session
+	stagedHead int
+
+	// publishMu serializes model updates (Rebuild, DeltaMerge) against
+	// each other so a delta merge never clones a snapshot that a
+	// concurrent compaction is about to replace. Observe and Predictor
+	// never take it.
+	publishMu sync.Mutex
+
+	// current is the published model snapshot, swapped whole by updates
 	// and read lock-free by Predictor.
-	current  atomic.Pointer[predictorCell]
-	rebuilds atomic.Int64
+	current     atomic.Pointer[predictorCell]
+	rebuilds    atomic.Int64
+	deltaMerges atomic.Int64
 }
 
 // New returns an empty maintainer. It returns an error on a nil
@@ -128,35 +218,80 @@ func New(cfg Config) (*Maintainer, error) {
 	}, nil
 }
 
-// Observe appends a completed session to the window. Sessions may
-// arrive in any order; trimming does not assume chronological arrival.
+// Observe appends a completed session to the window and stages it for
+// the next delta merge. Sessions may arrive in any order; trimming does
+// not assume chronological arrival. When staging overflows MaxStaged,
+// the oldest staged sessions are dropped from staging (counted in
+// pbppm_staged_dropped_total) — the window still holds them, so the
+// next compaction trains on them.
 func (m *Maintainer) Observe(s session.Session) {
 	if s.Len() == 0 {
 		return
 	}
+	max := m.cfg.maxStaged()
 	m.mu.Lock()
 	m.sessions = append(m.sessions, s)
+	m.staged = append(m.staged, s)
+	dropped := 0
+	if live := len(m.staged) - m.stagedHead; live > max {
+		dropped = live - max
+		m.stagedHead += dropped
+	}
+	// Compact the buffer once the dead prefix dominates, so the head
+	// index scheme stays amortized O(1) per Observe.
+	if m.stagedHead > len(m.staged)/2 {
+		n := copy(m.staged, m.staged[m.stagedHead:])
+		clear(m.staged[n:])
+		m.staged = m.staged[:n]
+		m.stagedHead = 0
+	}
+	stagedNow := len(m.staged) - m.stagedHead
 	m.mu.Unlock()
+	if dropped > 0 {
+		m.metrics.stagedDropped.Add(int64(dropped))
+	}
+	m.metrics.stagedSessions.Set(int64(stagedNow))
 }
 
 // WindowSize reports how many sessions the window currently holds.
 func (m *Maintainer) WindowSize() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return len(m.sessions)
 }
 
-// Rebuilds reports how many rebuilds have completed.
+// StagedSize reports how many sessions await the next delta merge.
+func (m *Maintainer) StagedSize() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.staged) - m.stagedHead
+}
+
+// Rebuilds reports how many full rebuilds (compactions) have published.
 func (m *Maintainer) Rebuilds() int {
 	return int(m.rebuilds.Load())
 }
 
+// DeltaMerges reports how many incremental delta merges have published.
+func (m *Maintainer) DeltaMerges() int {
+	return int(m.deltaMerges.Load())
+}
+
+// SkippedUpdates reports how many updates were discarded instead of
+// published (empty window, empty model, or panic), keeping the previous
+// snapshot live.
+func (m *Maintainer) SkippedUpdates() int {
+	return int(m.metrics.skippedEmptyWin.Value() +
+		m.metrics.skippedEmptyMdl.Value() +
+		m.metrics.skippedPanic.Value())
+}
+
 // Predictor returns the current model snapshot, or nil before the
-// first rebuild. The snapshot is immutable: predictions on it are
+// first update. The snapshot is immutable: predictions on it are
 // read-only and safe for unsynchronized concurrent use (its usage
 // recording was detached at publish time), and it is never trained
-// again — a rebuild publishes a fresh model instead of mutating this
-// one.
+// again — the next update publishes a fresh model instead of mutating
+// this one.
 func (m *Maintainer) Predictor() markov.Predictor {
 	if c := m.current.Load(); c != nil {
 		return c.p
@@ -164,21 +299,99 @@ func (m *Maintainer) Predictor() markov.Predictor {
 	return nil
 }
 
-// Rebuild trims the window to cfg.Window ending at now, builds the
-// ranking, constructs a fresh model through the factory, trains it on
-// the window, runs its space optimization, detaches its usage
-// recording, and publishes it atomically. It returns the installed
-// predictor.
+// takeStaged drains the staging buffer and returns the batch.
+func (m *Maintainer) takeStaged() []session.Session {
+	m.mu.Lock()
+	live := m.staged[m.stagedHead:]
+	batch := make([]session.Session, len(live))
+	copy(batch, live)
+	m.clearStagedLocked()
+	m.mu.Unlock()
+	m.metrics.stagedSessions.Set(0)
+	return batch
+}
+
+// clearStagedLocked resets the staging buffer; the caller holds mu.
+func (m *Maintainer) clearStagedLocked() {
+	clear(m.staged)
+	m.staged = m.staged[:0]
+	m.stagedHead = 0
+}
+
+// guarded runs fn and converts a panic into an error, so one poisoned
+// window or model bug cannot kill the maintenance loop or unpublish the
+// live snapshot.
+func guarded(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("maintain: update panicked: %v", r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+// skip records one discarded update and logs it.
+func (m *Maintainer) skip(op, reason string, detail any) {
+	switch reason {
+	case skipEmptyWindow:
+		m.metrics.skippedEmptyWin.Inc()
+	case skipEmptyModel:
+		m.metrics.skippedEmptyMdl.Inc()
+	default:
+		m.metrics.skippedPanic.Inc()
+	}
+	m.log.Warn("model update skipped; previous snapshot stays live",
+		"op", op, "reason", reason, "detail", detail)
+}
+
+// publish installs model as the live snapshot: detaches its usage
+// recording so serving-path predictions perform no writes, swaps the
+// atomic pointer, refreshes the model-health gauges, and invokes
+// Config.OnPublish. The caller holds publishMu.
+func (m *Maintainer) publish(model markov.Predictor) {
+	if ur, ok := model.(markov.UsageRecorder); ok {
+		ur.SetUsageRecording(false)
+	}
+	m.current.Store(&predictorCell{p: model})
+	m.metrics.modelNodes.Set(int64(model.NodeCount()))
+	if st, ok := markov.StatsOf(model); ok {
+		m.metrics.modelBranches.Set(int64(st.Roots))
+		m.metrics.modelLeaves.Set(int64(st.Leaves))
+		m.metrics.modelMaxHeight.Set(int64(st.MaxDepth))
+		m.metrics.modelBytes.Set(st.Bytes)
+	}
+	if m.cfg.OnPublish != nil {
+		m.cfg.OnPublish(model)
+	}
+}
+
+// Rebuild is the full update path, used for the initial build and for
+// periodic compactions: it trims the window to cfg.Window ending at
+// now, re-derives the popularity ranking, constructs a fresh model
+// through the factory, trains it on the whole window, runs its space
+// optimization, and publishes it atomically. The staging buffer is
+// cleared — everything staged is inside the window just trained (or
+// expired with it). It returns the installed predictor, or the
+// previous one when the update was skipped (empty window or model
+// while a trained snapshot is live, or a panic during training).
 //
-// The expensive training runs outside any lock: Observe, Predictor,
-// and the serving path stay responsive during a rebuild.
+// The expensive training runs outside the session lock: Observe,
+// Predictor, and the serving path stay responsive during a rebuild.
 func (m *Maintainer) Rebuild(now time.Time) markov.Predictor {
+	m.publishMu.Lock()
+	defer m.publishMu.Unlock()
+	return m.rebuildLocked(now)
+}
+
+func (m *Maintainer) rebuildLocked(now time.Time) markov.Predictor {
 	start := time.Now()
 	cutoff := now.Add(-m.cfg.window())
 
 	// Snapshot and trim under the lock. Sessions may have been observed
 	// out of order, so filter the whole window rather than scanning an
-	// expired prefix.
+	// expired prefix. A session starting exactly at the cutoff is kept
+	// (the !Before contract).
 	m.mu.Lock()
 	kept := m.sessions[:0]
 	for _, s := range m.sessions {
@@ -192,52 +405,122 @@ func (m *Maintainer) Rebuild(now time.Time) markov.Predictor {
 	m.sessions = kept
 	window := make([]session.Session, len(kept))
 	copy(window, kept)
+	m.clearStagedLocked()
 	m.mu.Unlock()
+	m.metrics.stagedSessions.Set(0)
 
-	rank := popularity.NewRanking()
-	for _, s := range window {
-		for _, v := range s.Views {
-			rank.Observe(v.URL, 1)
+	prev := m.Predictor()
+	if len(window) == 0 && prev != nil {
+		// A traffic lull or clock skew emptied the window; publishing the
+		// resulting empty model would blank a trained server.
+		m.skip("rebuild", skipEmptyWindow, now)
+		return prev
+	}
+
+	var model markov.Predictor
+	err := guarded(func() {
+		rank := popularity.NewRanking()
+		for _, s := range window {
+			for _, v := range s.Views {
+				rank.Observe(v.URL, 1)
+			}
 		}
+		model = m.cfg.Factory(rank)
+		seqs := make([][]string, len(window))
+		for i, s := range window {
+			seqs[i] = s.URLs()
+		}
+		markov.TrainAllParallel(model, seqs)
+		if opt, ok := model.(interface{ Optimize() int }); ok {
+			opt.Optimize()
+		}
+	})
+	if err != nil {
+		m.skip("rebuild", skipPanic, err)
+		return prev
 	}
-	model := m.cfg.Factory(rank)
-	seqs := make([][]string, len(window))
-	for i, s := range window {
-		seqs[i] = s.URLs()
-	}
-	markov.TrainAllParallel(model, seqs)
-	if opt, ok := model.(interface{ Optimize() int }); ok {
-		opt.Optimize()
-	}
-	// Detach usage recording so predictions on the published snapshot
-	// perform no writes; diagnostics can re-enable it explicitly.
-	if ur, ok := model.(markov.UsageRecorder); ok {
-		ur.SetUsageRecording(false)
+	if model == nil || (model.NodeCount() == 0 && prev != nil && prev.NodeCount() > 0) {
+		m.skip("rebuild", skipEmptyModel, len(window))
+		return prev
 	}
 
-	m.current.Store(&predictorCell{p: model})
+	m.publish(model)
 	m.rebuilds.Add(1)
 
-	// Publish rebuild metrics and model-health gauges for the snapshot
-	// just installed, then log one structured summary line.
 	dur := time.Since(start)
 	m.metrics.rebuilds.Inc()
 	m.metrics.rebuildSeconds.Observe(dur)
 	m.metrics.windowSessions.Set(int64(len(window)))
-	nodes := model.NodeCount()
-	m.metrics.modelNodes.Set(int64(nodes))
-	if st, ok := markov.StatsOf(model); ok {
-		m.metrics.modelBranches.Set(int64(st.Roots))
-		m.metrics.modelLeaves.Set(int64(st.Leaves))
-		m.metrics.modelMaxHeight.Set(int64(st.MaxDepth))
-		m.metrics.modelBytes.Set(st.Bytes)
-	}
 	m.log.Info("model rebuilt",
 		"model", model.Name(),
 		"sessions", len(window),
-		"nodes", nodes,
+		"nodes", model.NodeCount(),
 		"duration", dur.Round(time.Millisecond))
 	return model
+}
+
+// DeltaMerge is the incremental update path: it drains the staging
+// buffer, trains only those sessions into a fresh shard, folds the
+// shard into a deep clone of the live snapshot, and publishes the
+// clone — cost proportional to the delta (plus the clone's memcpy-like
+// tree copy), not to retraining the window. Space optimizations and
+// popularity re-ranking are deliberately not applied here; the next
+// compaction (Rebuild) restores the canonical from-scratch model.
+//
+// When no model is published yet, or the model does not implement
+// markov.IncrementalTrainer, DeltaMerge falls back to a full rebuild.
+// An empty staging buffer is a no-op. A merge that panics is discarded
+// and counted; the dropped batch stays in the window for the next
+// compaction to recover.
+func (m *Maintainer) DeltaMerge(now time.Time) markov.Predictor {
+	m.publishMu.Lock()
+	defer m.publishMu.Unlock()
+
+	prev := m.Predictor()
+	inc, ok := prev.(markov.IncrementalTrainer)
+	if prev == nil || !ok {
+		return m.rebuildLocked(now)
+	}
+	batch := m.takeStaged()
+	if len(batch) == 0 {
+		return prev
+	}
+
+	start := time.Now()
+	var merged markov.Predictor
+	err := guarded(func() {
+		shard := inc.NewShard()
+		seqs := make([][]string, len(batch))
+		for i, s := range batch {
+			seqs[i] = s.URLs()
+		}
+		markov.TrainAllParallel(shard, seqs)
+		clone := inc.Clone()
+		clone.(markov.ShardedTrainer).MergeShard(shard)
+		merged = clone
+	})
+	if err != nil {
+		m.skip("delta-merge", skipPanic, err)
+		return prev
+	}
+	if merged == nil || (merged.NodeCount() == 0 && prev.NodeCount() > 0) {
+		m.skip("delta-merge", skipEmptyModel, len(batch))
+		return prev
+	}
+
+	m.publish(merged)
+	m.deltaMerges.Add(1)
+
+	dur := time.Since(start)
+	m.metrics.deltaMerges.Inc()
+	m.metrics.deltaSeconds.Observe(dur)
+	m.metrics.deltaSessions.Add(int64(len(batch)))
+	m.log.Info("model delta-merged",
+		"model", merged.Name(),
+		"delta_sessions", len(batch),
+		"nodes", merged.NodeCount(),
+		"duration", dur.Round(time.Millisecond))
+	return merged
 }
 
 // Run rebuilds every interval until stop is closed; intended as
@@ -245,7 +528,11 @@ func (m *Maintainer) Rebuild(now time.Time) markov.Predictor {
 //	stop := make(chan struct{})
 //	go maint.Run(interval, stop)
 //
-// The first rebuild happens after the first interval elapses.
+// The first rebuild happens after the first interval elapses. Each
+// rebuild uses the wall clock at rebuild start — not the ticker's
+// receive value, which lags under load and would drift the window
+// cutoff — and rebuild panics are contained (see Rebuild), so one bad
+// window cannot kill maintenance permanently.
 func (m *Maintainer) Run(interval time.Duration, stop <-chan struct{}) {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
@@ -253,8 +540,35 @@ func (m *Maintainer) Run(interval time.Duration, stop <-chan struct{}) {
 		select {
 		case <-stop:
 			return
-		case now := <-ticker.C:
-			m.Rebuild(now)
+		case <-ticker.C:
+			m.Rebuild(time.Now())
+		}
+	}
+}
+
+// RunIncremental runs the incremental maintenance schedule until stop
+// is closed: a delta merge every delta interval, demoting full rebuilds
+// to compactions every compact interval (compact <= delta disables the
+// separate compaction ticker and every tick compacts). Like Run, each
+// update reads the wall clock at update start, and panics are contained
+// inside the update paths.
+func (m *Maintainer) RunIncremental(delta, compact time.Duration, stop <-chan struct{}) {
+	if compact <= delta {
+		m.Run(delta, stop)
+		return
+	}
+	deltaTick := time.NewTicker(delta)
+	defer deltaTick.Stop()
+	compactTick := time.NewTicker(compact)
+	defer compactTick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-compactTick.C:
+			m.Rebuild(time.Now())
+		case <-deltaTick.C:
+			m.DeltaMerge(time.Now())
 		}
 	}
 }

@@ -148,6 +148,10 @@ func TestConcurrentObserveAndRebuild(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Seed one session so a rebuild racing ahead of the observers never
+	// sees an empty window (an empty window after the first publish is
+	// skipped, not republished).
+	m.Observe(mkSession(0, "/seed", "/page"))
 	var wg sync.WaitGroup
 	for g := 0; g < 4; g++ {
 		wg.Add(1)
@@ -165,7 +169,9 @@ func TestConcurrentObserveAndRebuild(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 10; i++ {
-			m.Rebuild(epoch.Add(1000 * time.Hour))
+			// Rebuild with the cutoff before every observed session so the
+			// window never trims to empty (which would skip the publish).
+			m.Rebuild(epoch.Add(24 * time.Hour))
 		}
 	}()
 	wg.Wait()
@@ -223,7 +229,14 @@ func TestRunLoop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m.Observe(mkSession(0, "/a", "/b"))
+	// Run rebuilds against the wall clock, so the session must sit inside
+	// today's window for the rebuilds to publish rather than skip.
+	s := session.Session{Client: "c"}
+	now := time.Now()
+	for i, u := range []string{"/a", "/b"} {
+		s.Views = append(s.Views, session.PageView{URL: u, Time: now.Add(time.Duration(i) * time.Minute)})
+	}
+	m.Observe(s)
 	stop := make(chan struct{})
 	done := make(chan struct{})
 	go func() {

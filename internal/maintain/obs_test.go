@@ -70,6 +70,62 @@ func TestRebuildPublishesMetrics(t *testing.T) {
 	}
 }
 
+// TestIncrementalMetricsExposition checks the delta-merge counters,
+// the staged-session gauge, and the reason-labeled skip counters in
+// the Prometheus exposition.
+func TestIncrementalMetricsExposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	var logBuf bytes.Buffer
+	m, err := New(Config{
+		Factory: pbFactory,
+		Obs:     reg,
+		Logger:  obs.NewLogger(&logBuf, slog.LevelWarn),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Observe(mkSession(0, "/a", "/b", "/c"))
+	m.Rebuild(epoch.Add(2 * time.Hour))
+
+	// Two sessions through the delta path.
+	m.Observe(mkSession(3, "/a", "/d"))
+	m.Observe(mkSession(4, "/a", "/e"))
+	if m.metrics.stagedSessions.Value() != 2 {
+		t.Errorf("staged gauge = %d, want 2", m.metrics.stagedSessions.Value())
+	}
+	m.DeltaMerge(epoch.Add(5 * time.Hour))
+
+	// One skipped compaction (empty window) for the labeled counter.
+	m.Rebuild(epoch.Add(10000 * time.Hour))
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if err := obs.ValidateExposition(text); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"pbppm_delta_merges_total 1",
+		"pbppm_delta_sessions_total 2",
+		"pbppm_delta_merge_seconds_count 1",
+		"pbppm_staged_sessions 0",
+		`pbppm_rebuild_skipped_total{reason="empty_window"} 1`,
+		`pbppm_rebuild_skipped_total{reason="empty_model"} 0`,
+		`pbppm_rebuild_skipped_total{reason="panic"} 0`,
+		"pbppm_staged_dropped_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+	logged := logBuf.String()
+	if !strings.Contains(logged, "model update skipped") || !strings.Contains(logged, "empty_window") {
+		t.Errorf("skip log = %q", logged)
+	}
+}
+
 // TestRebuildWithoutObsStaysSilent pins the nil-config contract: no
 // registry, no logger, no panic.
 func TestRebuildWithoutObsStaysSilent(t *testing.T) {

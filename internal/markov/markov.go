@@ -56,6 +56,20 @@ func (s *symtab) lookup(url string) (uint32, bool) {
 	return id, ok
 }
 
+// clone returns an independent copy of the symbol table. The strings
+// themselves are shared (immutable in Go); only the slice and map
+// containers are fresh, so interning into the clone never mutates the
+// original.
+func (s *symtab) clone() *symtab {
+	ids := make(map[string]uint32, len(s.ids))
+	for url, id := range s.ids {
+		ids[url] = id
+	}
+	urls := make([]string, len(s.urls))
+	copy(urls, s.urls)
+	return &symtab{ids: ids, urls: urls}
+}
+
 // childRef is one entry of the small (slice) child representation.
 type childRef struct {
 	sym  uint32
@@ -665,6 +679,46 @@ func (t *Tree) Merge(other *Tree) {
 	}
 	merge(t.Root, other.Root)
 }
+
+// Clone returns a deep copy of the tree: every node, child container,
+// and the symbol table are fresh allocations, so training into or
+// merging into the clone never mutates the receiver. This is the
+// copy-on-write step of incremental maintenance: the published snapshot
+// stays live and read-only while its clone absorbs a delta. Usage marks
+// are not copied (they are prediction-phase scratch); the recording
+// gate's state is carried over.
+//
+// The receiver must not be trained concurrently with Clone; cloning a
+// published (read-only) snapshot is always safe.
+func (t *Tree) Clone() *Tree {
+	out := &Tree{Root: cloneNode(t.Root), syms: t.syms.clone()}
+	out.recording.Store(t.recording.Load())
+	return out
+}
+
+func cloneNode(n *Node) *Node {
+	c := &Node{Count: n.Count, sym: n.sym}
+	if n.big != nil {
+		c.big = make(map[uint32]*Node, len(n.big))
+		for sym, ch := range n.big {
+			c.big[sym] = cloneNode(ch)
+		}
+		return c
+	}
+	if len(n.small) > 0 {
+		c.small = make([]childRef, len(n.small))
+		for i, cr := range n.small {
+			c.small[i] = childRef{sym: cr.sym, node: cloneNode(cr.node)}
+		}
+	}
+	return c
+}
+
+// MergeInto folds t's counts into dst, leaving t unmodified: Merge seen
+// from the shard's side, so a freshly trained delta tree reads
+// delta.MergeInto(clone). dst must not be a published snapshot that
+// concurrent readers still use.
+func (t *Tree) MergeInto(dst *Tree) { dst.Merge(t) }
 
 // CopyIf returns a new tree containing only the nodes for which keep
 // returns true; rejecting a node skips its entire subtree. The copy

@@ -29,6 +29,27 @@ type ShardedTrainer interface {
 	MergeShard(shard Predictor)
 }
 
+// IncrementalTrainer is implemented by models that support O(delta)
+// incremental updates: Clone returns a deep copy of the model whose
+// subsequent training or merging never mutates the receiver, and
+// MergeShard (inherited from ShardedTrainer) folds a delta shard into
+// that clone. The maintenance loop uses the pair as its delta-merge
+// path: train only the newly observed sessions into a fresh shard, fold
+// the shard into a clone of the live snapshot, and publish the clone —
+// cost proportional to the delta, not the training window.
+//
+// A Clone result is always the same concrete type as the receiver and
+// therefore also implements IncrementalTrainer. Read-only collaborators
+// (a popularity grader) may be shared between the clone and the
+// receiver; everything trainable must be deep-copied.
+type IncrementalTrainer interface {
+	ShardedTrainer
+	// Clone returns a deep copy suitable for absorbing a delta while the
+	// receiver stays published. It must not run concurrently with
+	// training on the receiver.
+	Clone() Predictor
+}
+
 // minParallelSeqs is the batch size below which sharding overhead
 // (goroutines, per-shard trees, the merge) outweighs the speedup.
 const minParallelSeqs = 64

@@ -66,6 +66,7 @@ var _ markov.Predictor = (*Model)(nil)
 var _ markov.UtilizationReporter = (*Model)(nil)
 var _ markov.UsageRecorder = (*Model)(nil)
 var _ markov.ShardedTrainer = (*Model)(nil)
+var _ markov.IncrementalTrainer = (*Model)(nil)
 
 // New returns an empty standard PPM model.
 func New(cfg Config) *Model {
@@ -172,6 +173,12 @@ func (m *Model) NewShard() markov.Predictor { return New(m.cfg) }
 // equivalent.
 func (m *Model) MergeShard(shard markov.Predictor) {
 	m.tree.Merge(shard.(*Model).tree)
+}
+
+// Clone returns a deep copy of the model for incremental maintenance:
+// merging a delta shard into the clone never mutates the receiver.
+func (m *Model) Clone() markov.Predictor {
+	return &Model{cfg: m.cfg, tree: m.tree.Clone()}
 }
 
 // NodeCount reports the storage requirement in URL nodes.

@@ -540,13 +540,21 @@ func (s *Server) observeDemand(client, url string) []markov.Prediction {
 	}
 	preds := pred.Predict(snapshot)
 	span.Mark(obs.StagePredict)
-	out := preds[:0]
+	// Filter into a fresh slice: the predictor owns the returned slice
+	// and may hand the same backing array to another request (a model
+	// serving from a reused buffer), so compacting in place over
+	// preds[:0] would corrupt a concurrent caller's hints.
+	limit := s.cfg.maxHints()
+	if limit > len(preds) {
+		limit = len(preds)
+	}
+	out := make([]markov.Prediction, 0, limit)
 	for _, p := range preds {
 		if doc, ok := s.store.Lookup(p.URL); !ok || int64(len(doc.Body)) > s.cfg.maxHintBytes() {
 			continue
 		}
 		out = append(out, p)
-		if len(out) == s.cfg.maxHints() {
+		if len(out) == limit {
 			break
 		}
 	}

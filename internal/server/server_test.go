@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"pbppm/internal/core"
+	"pbppm/internal/markov"
 	"pbppm/internal/popularity"
 )
 
@@ -234,12 +235,12 @@ func TestOnlineRankingAndSetPredictor(t *testing.T) {
 
 func TestClientOf(t *testing.T) {
 	cases := map[string]string{
-		"127.0.0.1:9184":        "127.0.0.1",        // IPv4 with port
-		"[2001:db8::1]:4242":    "2001:db8::1",      // bracketed IPv6 with port
-		"[::1]:80":              "::1",              // loopback IPv6
-		"2001:db8::1":           "2001:db8::1",      // raw IPv6, no port: must not be truncated at the last colon
-		"localhost:8080":        "localhost",        // hostname with port
-		"@":                     "@",                // garbage passes through
+		"127.0.0.1:9184":     "127.0.0.1",   // IPv4 with port
+		"[2001:db8::1]:4242": "2001:db8::1", // bracketed IPv6 with port
+		"[::1]:80":           "::1",         // loopback IPv6
+		"2001:db8::1":        "2001:db8::1", // raw IPv6, no port: must not be truncated at the last colon
+		"localhost:8080":     "localhost",   // hostname with port
+		"@":                  "@",           // garbage passes through
 	}
 	for addr, want := range cases {
 		req := httptest.NewRequest(http.MethodGet, "/home", nil)
@@ -382,5 +383,58 @@ func TestOnSessionEndHook(t *testing.T) {
 	mu.Unlock()
 	if n != 2 {
 		t.Errorf("ended sessions after expiry = %d, want 2", n)
+	}
+}
+
+// sharedBufferPredictor returns every prediction batch through the same
+// backing array, the way a model serving from a reused buffer would.
+// Regression: observeDemand used to filter hints into preds[:0],
+// compacting them in place over this shared array and corrupting the
+// batch another request was still reading.
+type sharedBufferPredictor struct {
+	buf   []markov.Prediction
+	fresh []markov.Prediction
+}
+
+func (p *sharedBufferPredictor) Name() string               { return "shared-buf" }
+func (p *sharedBufferPredictor) TrainSequence(seq []string) {}
+func (p *sharedBufferPredictor) NodeCount() int             { return len(p.fresh) }
+func (p *sharedBufferPredictor) Predict(ctx []string) []markov.Prediction {
+	copy(p.buf, p.fresh)
+	return p.buf[:len(p.fresh)]
+}
+
+func TestHintFilteringDoesNotMutatePredictorSlice(t *testing.T) {
+	// /missing1 and /missing2 are not in the store, so filtering keeps
+	// only /news and /sports — into slots 0 and 1 under the old in-place
+	// compaction, overwriting /missing1 and /news in the shared buffer.
+	fresh := []markov.Prediction{
+		{URL: "/missing1", Probability: 0.9},
+		{URL: "/news", Probability: 0.8},
+		{URL: "/missing2", Probability: 0.7},
+		{URL: "/sports", Probability: 0.6},
+	}
+	pred := &sharedBufferPredictor{buf: make([]markov.Prediction, len(fresh)), fresh: fresh}
+	srv := New(testStore(), Config{Predictor: pred})
+
+	hints := srv.observeDemand("alice", "/home")
+	if len(hints) != 2 || hints[0].URL != "/news" || hints[1].URL != "/sports" {
+		t.Fatalf("hints = %+v", hints)
+	}
+	// The predictor's buffer must still hold the batch it returned.
+	for i, p := range pred.buf {
+		if p != fresh[i] {
+			t.Errorf("predictor buffer slot %d mutated: %+v, want %+v", i, p, fresh[i])
+		}
+	}
+	// A second request through the same backing array sees intact data.
+	hints2 := srv.observeDemand("bob", "/home")
+	if len(hints2) != 2 || hints2[0].URL != "/news" || hints2[1].URL != "/sports" {
+		t.Errorf("second batch corrupted: %+v", hints2)
+	}
+	// And the two hint slices are independent of each other.
+	hints[0].URL = "/clobbered"
+	if hints2[0].URL != "/news" {
+		t.Error("hint slices share a backing array across requests")
 	}
 }
