@@ -293,6 +293,44 @@ func BenchmarkPredictPBPPM(b *testing.B) {
 	}
 }
 
+// BenchmarkPredictFrozenPBPPM measures the arena serving path: the same
+// trained PB-PPM model frozen into its flat arena and driven through
+// PredictInto with a reused scratch buffer. CI runs this with -benchmem
+// and fails if it reports any allocations — the zero-allocation gate on
+// the frozen serving path.
+func BenchmarkPredictFrozenPBPPM(b *testing.B) {
+	w := nasaWorkload(b)
+	train := benchSessions(b, w, 5)
+	rank := experiments.Ranking(train)
+	m := NewPopularityPPM(rank, PopularityPPMConfig{RelProbCutoff: 0.01, DropSingletons: true})
+	sim.Train(m, train)
+	frozen := m.Freeze().(BufferedPredictor)
+	contexts := make([][]string, 0, 256)
+	for _, s := range w.DaySessions(5, 6) {
+		urls := s.URLs()
+		for j := range urls {
+			contexts = append(contexts, urls[:j+1])
+			if len(contexts) == cap(contexts) {
+				break
+			}
+		}
+		if len(contexts) == cap(contexts) {
+			break
+		}
+	}
+	// Warm pass: grow the scratch buffer to steady-state capacity so the
+	// measured loop is pure reuse.
+	var buf []Prediction
+	for _, ctx := range contexts {
+		buf = frozen.PredictInto(ctx, buf)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = frozen.PredictInto(contexts[i%len(contexts)], buf)
+	}
+}
+
 // BenchmarkTrainAllSerial measures serial session-by-session training
 // of the height-3 standard PPM model over the 5-day window — the
 // baseline for the sharded-training comparison below. CI runs the pair

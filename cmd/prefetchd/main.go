@@ -135,7 +135,12 @@ func main() {
 		maint.Observe(shifted)
 	}
 	model := maint.Rebuild(time.Now())
-	log.Info("warm model trained", "sessions", len(sessions), "nodes", model.NodeCount())
+	var arenaBytes int
+	if ah, ok := model.(markov.ArenaHolder); ok {
+		arenaBytes = ah.Arena().SizeBytes()
+	}
+	log.Info("warm model trained", "sessions", len(sessions),
+		"nodes", model.NodeCount(), "arena_bytes", arenaBytes)
 
 	srv = server.New(store, server.Config{
 		Predictor: model,

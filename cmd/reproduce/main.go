@@ -42,7 +42,7 @@ func main() {
 // before the process exits.
 func realMain() int {
 	var (
-		exp       = flag.String("exp", "all", "experiment: all, fig2, fig3, table, fig4, fig5, baselines, maintenance, maintenance-cost, ablations")
+		exp       = flag.String("exp", "all", "experiment: all, fig2, fig3, table, fig4, fig5, baselines, maintenance, maintenance-cost, predict-bench, ablations")
 		workload  = flag.String("workload", "both", "workload: both, nasa, ucbcs")
 		scale     = flag.String("scale", "full", "full = paper scale, small = quick check")
 		csvDir    = flag.String("csv", "", "also write each artifact as CSV into this directory")
@@ -276,6 +276,11 @@ func run(w *experiments.Workload, exp, csvDir string, progress int, log *slog.Lo
 			return err
 		}
 	}
+	if all || exp == "predict-bench" {
+		if err := runOne("predict-bench", fixed("predict-bench", func() (artifact, error) { return experiments.RunPredictBench(w) })); err != nil {
+			return err
+		}
+	}
 	if all || exp == "ablations" {
 		for _, runAbl := range []func(*experiments.Workload) (*experiments.Ablation, error){
 			experiments.RunAblationThresholds,
@@ -300,7 +305,7 @@ func run(w *experiments.Workload, exp, csvDir string, progress int, log *slog.Lo
 		}
 	}
 	switch exp {
-	case "all", "fig2", "fig3", "table", "fig4", "fig5", "baselines", "maintenance", "maintenance-cost", "ablations":
+	case "all", "fig2", "fig3", "table", "fig4", "fig5", "baselines", "maintenance", "maintenance-cost", "predict-bench", "ablations":
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)

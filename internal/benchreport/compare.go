@@ -88,6 +88,8 @@ func lowerIsBetter(metric string) bool {
 		return true
 	case strings.HasSuffix(metric, "_bytes") || strings.HasSuffix(metric, "_seconds"):
 		return true
+	case strings.HasSuffix(metric, "_allocs_per_op") || strings.HasSuffix(metric, "_ns_per_op"):
+		return true
 	default:
 		return false
 	}

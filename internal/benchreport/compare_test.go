@@ -83,6 +83,12 @@ func TestCompareDirections(t *testing.T) {
 		// Zero baseline falls back to absolute change.
 		{"traffic_increase_pb", 0, 0.2, ClassRegressed},
 		{"traffic_increase_pb", 0, 0.01, ClassUnchanged},
+		// Serving-path cost metrics: fewer allocations and faster
+		// predictions are improvements; the zero-alloc gate relies on
+		// any growth from 0 classifying as a regression.
+		{"predict_allocs_per_op", 0, 2, ClassRegressed},
+		{"predict_allocs_per_op", 3, 0, ClassImproved},
+		{"predict_ns_per_op", 400, 900, ClassRegressed},
 	}
 	for _, c := range cases {
 		base, cur := twoRunReports()

@@ -86,6 +86,8 @@ type Model struct {
 }
 
 var _ markov.Predictor = (*Model)(nil)
+var _ markov.BufferedPredictor = (*Model)(nil)
+var _ markov.Freezer = (*Model)(nil)
 var _ markov.UtilizationReporter = (*Model)(nil)
 var _ markov.UsageRecorder = (*Model)(nil)
 var _ markov.ShardedTrainer = (*Model)(nil)
@@ -246,16 +248,23 @@ func (m *Model) addLink(root, url string) {
 // Predict combines the longest-suffix match used by all models with the
 // rule-3 extra predictions: when the current click is a root of the
 // tree, the root's linked duplicated nodes are offered as additional
-// candidates. Duplicate URLs keep their highest probability.
+// candidates. Duplicate URLs keep their highest probability (a tree
+// candidate wins an exact tie, keeping its matched order).
 func (m *Model) Predict(context []string) []markov.Prediction {
+	return m.PredictInto(context, nil)
+}
+
+// PredictInto is Predict writing into buf per the
+// markov.BufferedPredictor buffer-ownership contract.
+func (m *Model) PredictInto(context []string, buf []markov.Prediction) []markov.Prediction {
+	buf = buf[:0]
 	if len(context) == 0 {
-		return nil
+		return buf
 	}
 	thr := m.cfg.threshold()
-	var out []markov.Prediction
 	if n, order := m.tree.LongestMatch(context); n != nil {
 		m.tree.MarkPath(context[len(context)-order:])
-		out = m.tree.PredictFrom(n, thr, order)
+		buf = m.tree.PredictFromInto(n, thr, order, buf)
 	}
 	cur := context[len(context)-1]
 	if root := m.tree.Child(m.tree.Root, cur); root != nil && !m.cfg.DisableLinks {
@@ -270,24 +279,142 @@ func (m *Model) Predict(context []string) []markov.Prediction {
 		if max := m.maxLinkPredictions(); max >= 0 && len(linked) > max {
 			linked = linked[:max]
 		}
-		out = append(out, linked...)
+		buf = mergeLinked(buf, linked)
 	}
-	if len(out) == 0 {
-		return nil
+	if len(buf) == 0 {
+		return buf
 	}
-	// Deduplicate, keeping the strongest estimate per URL.
-	best := make(map[string]markov.Prediction, len(out))
-	for _, p := range out {
-		if b, ok := best[p.URL]; !ok || p.Probability > b.Probability {
-			best[p.URL] = p
+	markov.SortPredictions(buf)
+	return buf
+}
+
+// mergeLinked folds the rule-3 link candidates into the tree
+// candidates, deduplicating by URL with the strongest estimate winning
+// and the tree candidate keeping an exact tie (it came first).
+func mergeLinked(preds, linked []markov.Prediction) []markov.Prediction {
+	for _, lp := range linked {
+		dup := -1
+		for i := range preds {
+			if preds[i].URL == lp.URL {
+				dup = i
+				break
+			}
+		}
+		if dup < 0 {
+			preds = append(preds, lp)
+		} else if lp.Probability > preds[dup].Probability {
+			preds[dup] = lp
 		}
 	}
-	dedup := make([]markov.Prediction, 0, len(best))
-	for _, p := range best {
-		dedup = append(dedup, p)
+	return preds
+}
+
+// Freeze returns the immutable arena-backed snapshot of the trained
+// model: the prediction tree becomes a flat arena and the rule-3 link
+// candidates are precomputed per heading URL (their root counts are
+// fixed once training stops), so serving performs no map-building, no
+// usage marking, and — with a warm caller buffer — no allocations,
+// while predictions stay bit-identical to the live model's.
+func (m *Model) Freeze() markov.Predictor {
+	thr := m.cfg.threshold()
+	f := &Frozen{
+		name:      m.Name(),
+		arena:     m.tree.Freeze(),
+		threshold: thr,
+		nodeCount: m.NodeCount(),
 	}
-	markov.SortPredictions(dedup)
-	return dedup
+	if !m.cfg.DisableLinks {
+		max := m.maxLinkPredictions()
+		f.links = make(map[string][]markov.Prediction, len(m.links))
+		for rootURL, lm := range m.links {
+			root := m.tree.Child(m.tree.Root, rootURL)
+			if root == nil {
+				// Live Predict offers links only while the heading URL
+				// is a root; a pruned root silences its links.
+				continue
+			}
+			var linked []markov.Prediction
+			for url, cnt := range lm {
+				p := float64(cnt) / float64(root.Count)
+				if p >= thr {
+					linked = append(linked, markov.Prediction{URL: url, Probability: p, Order: 1})
+				}
+			}
+			if len(linked) == 0 {
+				continue
+			}
+			markov.SortPredictions(linked)
+			if max >= 0 && len(linked) > max {
+				linked = linked[:max]
+			}
+			f.links[rootURL] = linked
+		}
+	}
+	return f
+}
+
+// Frozen is the arena-backed snapshot of a popularity-based model.
+// It is immutable and safe for unsynchronized concurrent use;
+// TrainSequence panics.
+type Frozen struct {
+	name      string
+	arena     *markov.Arena
+	threshold float64
+	// nodeCount is the live model's NodeCount — tree nodes plus every
+	// rule-3 link (the paper's space metric counts links before the
+	// prediction threshold is applied, so it is captured at freeze time
+	// rather than recomputed from the thresholded link table below).
+	nodeCount int
+	// links holds the precomputed rule-3 predictions per heading URL:
+	// thresholded, sorted, and capped at freeze time.
+	links map[string][]markov.Prediction
+}
+
+var _ markov.Predictor = (*Frozen)(nil)
+var _ markov.BufferedPredictor = (*Frozen)(nil)
+var _ markov.ArenaHolder = (*Frozen)(nil)
+
+// Name identifies the model; the frozen snapshot keeps the live name
+// so reports stay comparable across a freeze.
+func (f *Frozen) Name() string { return f.name }
+
+// TrainSequence panics: a frozen model is a published immutable
+// snapshot. Train the live model and freeze again.
+func (f *Frozen) TrainSequence([]string) {
+	panic("core: TrainSequence on a frozen model; train the live model and re-freeze")
+}
+
+// NodeCount reports the live model's storage requirement (tree nodes
+// plus rule-3 links), the paper's space metric.
+func (f *Frozen) NodeCount() int { return f.nodeCount }
+
+// Arena exposes the snapshot for stats and persistence.
+func (f *Frozen) Arena() *markov.Arena { return f.arena }
+
+// Predict mirrors Model.Predict on the arena.
+func (f *Frozen) Predict(context []string) []markov.Prediction {
+	return f.PredictInto(context, nil)
+}
+
+// PredictInto is Predict writing into buf per the
+// markov.BufferedPredictor buffer-ownership contract. With a warm
+// buffer the call performs zero allocations.
+func (f *Frozen) PredictInto(context []string, buf []markov.Prediction) []markov.Prediction {
+	buf = buf[:0]
+	if len(context) == 0 {
+		return buf
+	}
+	if n, order, ok := f.arena.LongestMatch(context); ok {
+		buf = f.arena.AppendPredictions(buf, n, f.threshold, order)
+	}
+	if linked := f.links[context[len(context)-1]]; len(linked) > 0 {
+		buf = mergeLinked(buf, linked)
+	}
+	if len(buf) == 0 {
+		return buf
+	}
+	markov.SortPredictions(buf)
+	return buf
 }
 
 // Optimize applies the configured space optimizations and returns the

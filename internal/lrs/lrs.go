@@ -55,6 +55,8 @@ type Model struct {
 }
 
 var _ markov.Predictor = (*Model)(nil)
+var _ markov.BufferedPredictor = (*Model)(nil)
+var _ markov.Freezer = (*Model)(nil)
 var _ markov.UtilizationReporter = (*Model)(nil)
 var _ markov.UsageRecorder = (*Model)(nil)
 var _ markov.ShardedTrainer = (*Model)(nil)
@@ -123,13 +125,28 @@ func (m *Model) Clone() markov.Predictor {
 // longest suffix of the context — the paper's "longest matching method"
 // — and returns its children above the probability threshold.
 func (m *Model) Predict(context []string) []markov.Prediction {
+	return m.PredictInto(context, nil)
+}
+
+// PredictInto is Predict writing into buf per the
+// markov.BufferedPredictor buffer-ownership contract.
+func (m *Model) PredictInto(context []string, buf []markov.Prediction) []markov.Prediction {
 	m.rebuild()
 	n, order := m.pruned.LongestMatch(context)
 	if n == nil {
-		return nil
+		return buf[:0]
 	}
 	m.pruned.MarkPath(context[len(context)-order:])
-	return m.pruned.PredictFrom(n, m.cfg.threshold(), order)
+	return m.pruned.PredictFromInto(n, m.cfg.threshold(), order, buf)
+}
+
+// Freeze materializes the repeating-only prediction tree and returns
+// its immutable arena-backed snapshot: identical predictions with no
+// per-node GC load and no allocations on the serving path. The full
+// suffix trie is a training-time artifact and is not frozen.
+func (m *Model) Freeze() markov.Predictor {
+	m.rebuild()
+	return markov.NewFrozenTree(m.pruned.Freeze(), m.Name(), m.cfg.threshold(), 0)
 }
 
 // NodeCount reports the storage requirement of the repeating-only tree,

@@ -138,6 +138,7 @@ type maintainMetrics struct {
 	modelLeaves     *obs.Gauge
 	modelMaxHeight  *obs.Gauge
 	modelBytes      *obs.Gauge
+	modelArenaBytes *obs.Gauge
 }
 
 func newMaintainMetrics(reg *obs.Registry) *maintainMetrics {
@@ -173,6 +174,8 @@ func newMaintainMetrics(reg *obs.Registry) *maintainMetrics {
 			"Longest branch of the published model, in nodes."),
 		modelBytes: reg.Gauge("pbppm_model_bytes",
 			"Approximate in-memory size of the published model."),
+		modelArenaBytes: reg.Gauge("pbppm_model_arena_bytes",
+			"Size of the published model's frozen arena image in bytes; zero when the published model is not arena-backed."),
 	}
 }
 
@@ -197,6 +200,14 @@ type Maintainer struct {
 	// concurrent compaction is about to replace. Observe and Predictor
 	// never take it.
 	publishMu sync.Mutex
+
+	// editable is the live (mutable) model behind the published
+	// snapshot. The published model is its frozen arena image (when the
+	// model can freeze) and is never trained again; the delta path
+	// clones editable instead, so incremental training keeps working
+	// after freezing replaced the served representation. Guarded by
+	// publishMu.
+	editable markov.Predictor
 
 	// current is the published model snapshot, swapped whole by updates
 	// and read lock-free by Predictor.
@@ -345,25 +356,41 @@ func (m *Maintainer) skip(op, reason string, detail any) {
 		"op", op, "reason", reason, "detail", detail)
 }
 
-// publish installs model as the live snapshot: detaches its usage
-// recording so serving-path predictions perform no writes, swaps the
-// atomic pointer, refreshes the model-health gauges, and invokes
-// Config.OnPublish. The caller holds publishMu.
-func (m *Maintainer) publish(model markov.Predictor) {
-	if ur, ok := model.(markov.UsageRecorder); ok {
+// publish installs model as the live snapshot and returns the
+// predictor actually published. The model is kept as the editable base
+// for future delta merges; what gets served is its frozen arena image
+// when the model can freeze (markov.Freezer) — O(1) GC objects,
+// allocation-free predictions — and the model itself otherwise. Either
+// way the published predictor is immutable from here on: usage
+// recording is detached, the atomic pointer is swapped, the
+// model-health gauges refresh, and Config.OnPublish fires. The caller
+// holds publishMu.
+func (m *Maintainer) publish(model markov.Predictor) markov.Predictor {
+	m.editable = model
+	published := model
+	if fz, ok := model.(markov.Freezer); ok {
+		published = fz.Freeze()
+	}
+	if ur, ok := published.(markov.UsageRecorder); ok {
 		ur.SetUsageRecording(false)
 	}
-	m.current.Store(&predictorCell{p: model})
-	m.metrics.modelNodes.Set(int64(model.NodeCount()))
-	if st, ok := markov.StatsOf(model); ok {
+	m.current.Store(&predictorCell{p: published})
+	m.metrics.modelNodes.Set(int64(published.NodeCount()))
+	if st, ok := markov.StatsOf(published); ok {
 		m.metrics.modelBranches.Set(int64(st.Roots))
 		m.metrics.modelLeaves.Set(int64(st.Leaves))
 		m.metrics.modelMaxHeight.Set(int64(st.MaxDepth))
 		m.metrics.modelBytes.Set(st.Bytes)
 	}
-	if m.cfg.OnPublish != nil {
-		m.cfg.OnPublish(model)
+	if ah, ok := published.(markov.ArenaHolder); ok && ah.Arena() != nil {
+		m.metrics.modelArenaBytes.Set(int64(ah.Arena().SizeBytes()))
+	} else {
+		m.metrics.modelArenaBytes.Set(0)
 	}
+	if m.cfg.OnPublish != nil {
+		m.cfg.OnPublish(published)
+	}
+	return published
 }
 
 // Rebuild is the full update path, used for the initial build and for
@@ -444,7 +471,7 @@ func (m *Maintainer) rebuildLocked(now time.Time) markov.Predictor {
 		return prev
 	}
 
-	m.publish(model)
+	published := m.publish(model)
 	m.rebuilds.Add(1)
 
 	dur := time.Since(start)
@@ -452,20 +479,23 @@ func (m *Maintainer) rebuildLocked(now time.Time) markov.Predictor {
 	m.metrics.rebuildSeconds.Observe(dur)
 	m.metrics.windowSessions.Set(int64(len(window)))
 	m.log.Info("model rebuilt",
-		"model", model.Name(),
+		"model", published.Name(),
 		"sessions", len(window),
-		"nodes", model.NodeCount(),
+		"nodes", published.NodeCount(),
+		"arena_bytes", m.metrics.modelArenaBytes.Value(),
 		"duration", dur.Round(time.Millisecond))
-	return model
+	return published
 }
 
 // DeltaMerge is the incremental update path: it drains the staging
 // buffer, trains only those sessions into a fresh shard, folds the
-// shard into a deep clone of the live snapshot, and publishes the
-// clone — cost proportional to the delta (plus the clone's memcpy-like
-// tree copy), not to retraining the window. Space optimizations and
-// popularity re-ranking are deliberately not applied here; the next
-// compaction (Rebuild) restores the canonical from-scratch model.
+// shard into a deep clone of the editable model behind the live
+// snapshot, and publishes the clone (frozen into an arena when the
+// model supports it) — cost proportional to the delta (plus the
+// clone's memcpy-like tree copy and the freeze), not to retraining the
+// window. Space optimizations and popularity re-ranking are
+// deliberately not applied here; the next compaction (Rebuild)
+// restores the canonical from-scratch model.
 //
 // When no model is published yet, or the model does not implement
 // markov.IncrementalTrainer, DeltaMerge falls back to a full rebuild.
@@ -476,8 +506,12 @@ func (m *Maintainer) DeltaMerge(now time.Time) markov.Predictor {
 	m.publishMu.Lock()
 	defer m.publishMu.Unlock()
 
+	// Clone the editable base, not the published snapshot: publishing
+	// freezes the model into an arena, which cannot be trained — the
+	// mutable tree lives on in editable precisely so the delta path
+	// stays O(delta + clone).
 	prev := m.Predictor()
-	inc, ok := prev.(markov.IncrementalTrainer)
+	inc, ok := m.editable.(markov.IncrementalTrainer)
 	if prev == nil || !ok {
 		return m.rebuildLocked(now)
 	}
@@ -508,7 +542,7 @@ func (m *Maintainer) DeltaMerge(now time.Time) markov.Predictor {
 		return prev
 	}
 
-	m.publish(merged)
+	published := m.publish(merged)
 	m.deltaMerges.Add(1)
 
 	dur := time.Since(start)
@@ -516,11 +550,12 @@ func (m *Maintainer) DeltaMerge(now time.Time) markov.Predictor {
 	m.metrics.deltaSeconds.Observe(dur)
 	m.metrics.deltaSessions.Add(int64(len(batch)))
 	m.log.Info("model delta-merged",
-		"model", merged.Name(),
+		"model", published.Name(),
 		"delta_sessions", len(batch),
-		"nodes", merged.NodeCount(),
+		"nodes", published.NodeCount(),
+		"arena_bytes", m.metrics.modelArenaBytes.Value(),
 		"duration", dur.Round(time.Millisecond))
-	return merged
+	return published
 }
 
 // Run rebuilds every interval until stop is closed; intended as

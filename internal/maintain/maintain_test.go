@@ -117,12 +117,15 @@ func TestRebuildDetachesUsageRecording(t *testing.T) {
 	}
 	m.Observe(mkSession(0, "/home", "/news"))
 	model := m.Rebuild(epoch.Add(time.Hour))
-	ur, ok := model.(markov.UsageRecorder)
-	if !ok {
-		t.Fatal("PB-PPM model does not implement markov.UsageRecorder")
-	}
-	if ur.UsageRecording() {
+	// A published model must never record usage marks. The frozen arena
+	// snapshot guarantees this structurally by not implementing
+	// markov.UsageRecorder at all; a model that does implement it must
+	// have recording detached.
+	if ur, ok := model.(markov.UsageRecorder); ok && ur.UsageRecording() {
 		t.Error("published model still records usage marks")
+	}
+	if _, ok := model.(markov.ArenaHolder); !ok {
+		t.Error("published PB-PPM model is not an arena-backed frozen snapshot")
 	}
 }
 

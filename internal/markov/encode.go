@@ -59,7 +59,11 @@ func (t *Tree) Encode(w io.Writer) error {
 		img.Nodes[idx].Kids = int32(kids)
 	}
 	flatten(t.Root)
+	return writeWireTree(w, img)
+}
 
+// writeWireTree writes the magic-prefixed version-2 gob image.
+func writeWireTree(w io.Writer, img wireTree) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(treeMagic); err != nil {
 		return fmt.Errorf("markov: encoding tree: %w", err)
@@ -68,6 +72,41 @@ func (t *Tree) Encode(w io.Writer) error {
 		return fmt.Errorf("markov: encoding tree: %w", err)
 	}
 	return bw.Flush()
+}
+
+// Encode serializes the arena in wire-format v2, the portable
+// interchange encoding (the arena image itself is host-endian and
+// meant for same-machine sharing). The arena layout is canonical, so
+// decoding this stream and re-freezing it (DecodeArena) reproduces the
+// arena byte-identically.
+func (a *Arena) Encode(w io.Writer) error {
+	img := wireTree{URLs: a.urls[1:], Nodes: make([]wireFlatNode, 0, len(a.counts))}
+	// Preorder flattening; arena child blocks are URL-sorted, matching
+	// the sortedChildren order Tree.Encode emits.
+	var flatten func(node uint32)
+	flatten = func(node uint32) {
+		img.Nodes = append(img.Nodes, wireFlatNode{
+			Sym:   a.syms[node],
+			Count: a.counts[node],
+			Kids:  int32(a.childOff[node+1] - a.childOff[node]),
+		})
+		for ci := a.childOff[node]; ci < a.childOff[node+1]; ci++ {
+			flatten(ci)
+		}
+	}
+	flatten(0)
+	return writeWireTree(w, img)
+}
+
+// DecodeArena reads a stream written by Tree.Encode or Arena.Encode
+// (either wire version) and freezes it straight into an arena — the
+// restart path of a serving process that never needs the mutable tree.
+func DecodeArena(r io.Reader) (*Arena, error) {
+	t, err := DecodeTree(r)
+	if err != nil {
+		return nil, err
+	}
+	return t.Freeze(), nil
 }
 
 // DecodeTree reads a tree previously written by Encode, accepting both
@@ -84,6 +123,14 @@ func DecodeTree(r io.Reader) (*Tree, error) {
 	return decodeLegacy(br)
 }
 
+// decodeV2 rebuilds a tree from the version-2 image. Nothing in the
+// stream is trusted: symbol ids are range-checked, counts and child
+// counts must be non-negative, the URL table must be duplicate-free
+// (duplicates collapse under interning and would leave dangling
+// symbols), sibling symbols must be unique (silent merging would hide
+// corruption), and the preorder structure is replayed with an explicit
+// stack so an adversarially deep chain cannot overflow the goroutine
+// stack. Any violation returns an error; the decoder never panics.
 func decodeV2(r io.Reader) (*Tree, error) {
 	var img wireTree
 	if err := gob.NewDecoder(r).Decode(&img); err != nil {
@@ -98,44 +145,60 @@ func decodeV2(r io.Reader) (*Tree, error) {
 	for _, u := range img.URLs {
 		t.syms.intern(u)
 	}
+	if got := len(t.syms.urls) - 1; got != len(img.URLs) {
+		return nil, fmt.Errorf("markov: decoding tree: URL table has %d duplicate entries", len(img.URLs)-got)
+	}
 	maxSym := uint32(len(img.URLs))
 
-	pos := 0
-	var build func(parent *Node) error
-	build = func(parent *Node) error {
-		if pos >= len(img.Nodes) {
-			return fmt.Errorf("markov: decoding tree: truncated node list")
+	root := img.Nodes[0]
+	if root.Sym != 0 {
+		return nil, fmt.Errorf("markov: decoding tree: root symbol %d", root.Sym)
+	}
+	if root.Count < 0 {
+		return nil, fmt.Errorf("markov: decoding tree: negative count %d", root.Count)
+	}
+	if root.Kids < 0 {
+		return nil, fmt.Errorf("markov: decoding tree: negative child count")
+	}
+	t.Root.Count = root.Count
+
+	// frame is one open node of the preorder replay with the number of
+	// children it still owes.
+	type frame struct {
+		n    *Node
+		kids int32
+	}
+	stack := []frame{{n: t.Root, kids: root.Kids}}
+	for pos := 1; pos < len(img.Nodes); pos++ {
+		for len(stack) > 0 && stack[len(stack)-1].kids == 0 {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			return nil, fmt.Errorf("markov: decoding tree: %d trailing nodes", len(img.Nodes)-pos)
 		}
 		w := img.Nodes[pos]
-		pos++
-		n := parent
-		if parent == nil {
-			if w.Sym != 0 {
-				return fmt.Errorf("markov: decoding tree: root symbol %d", w.Sym)
-			}
-			n = t.Root
-		} else {
-			if w.Sym == 0 || w.Sym > maxSym {
-				return fmt.Errorf("markov: decoding tree: symbol %d out of range", w.Sym)
-			}
-			n = parent.ensureChildSym(w.Sym)
+		if w.Sym == 0 || w.Sym > maxSym {
+			return nil, fmt.Errorf("markov: decoding tree: symbol %d out of range", w.Sym)
 		}
-		n.Count = w.Count
+		if w.Count < 0 {
+			return nil, fmt.Errorf("markov: decoding tree: negative count %d", w.Count)
+		}
 		if w.Kids < 0 {
-			return fmt.Errorf("markov: decoding tree: negative child count")
+			return nil, fmt.Errorf("markov: decoding tree: negative child count")
 		}
-		for i := int32(0); i < w.Kids; i++ {
-			if err := build(n); err != nil {
-				return err
-			}
+		top := &stack[len(stack)-1]
+		if top.n.childBySym(w.Sym) != nil {
+			return nil, fmt.Errorf("markov: decoding tree: duplicate sibling symbol %d", w.Sym)
 		}
-		return nil
+		n := top.n.ensureChildSym(w.Sym)
+		n.Count = w.Count
+		top.kids--
+		stack = append(stack, frame{n: n, kids: w.Kids})
 	}
-	if err := build(nil); err != nil {
-		return nil, err
-	}
-	if pos != len(img.Nodes) {
-		return nil, fmt.Errorf("markov: decoding tree: %d trailing nodes", len(img.Nodes)-pos)
+	for _, f := range stack {
+		if f.kids != 0 {
+			return nil, fmt.Errorf("markov: decoding tree: truncated node list")
+		}
 	}
 	return t, nil
 }

@@ -222,6 +222,46 @@ type Prediction struct {
 	Order int
 }
 
+// BufferedPredictor is implemented by predictors that can write their
+// candidates into a caller-supplied scratch buffer — the explicit
+// buffer-ownership contract of the serving path:
+//
+//   - buf's previous contents are discarded (the model writes from
+//     buf[:0]); the returned slice reuses buf's backing storage when
+//     capacity allows and is freshly grown otherwise.
+//   - The returned slice never aliases model-internal storage, so the
+//     caller may mutate or reuse it freely; only the URL strings are
+//     (immutable) views shared with the model.
+//   - The model does not retain the buffer: ownership stays with the
+//     caller across the call.
+//
+// All four models implement it; arena-frozen models additionally
+// guarantee zero allocations per call once the buffer is warm. Callers
+// holding only a Predictor use the PredictInto helper.
+type BufferedPredictor interface {
+	Predictor
+	// PredictInto is Predict writing into buf per the contract above.
+	PredictInto(context []string, buf []Prediction) []Prediction
+}
+
+// Freezer is implemented by models that can freeze their trained state
+// into an immutable, GC-free serving snapshot (see Arena). The frozen
+// predictor yields bit-identical predictions to the live model, cannot
+// be trained, and is safe for unsynchronized concurrent use.
+type Freezer interface {
+	Freeze() Predictor
+}
+
+// PredictInto routes a prediction through p's buffered path when it has
+// one, and falls back to copying Predict's result into buf otherwise —
+// so callers get the buffer-ownership contract from any Predictor.
+func PredictInto(p Predictor, context []string, buf []Prediction) []Prediction {
+	if bp, ok := p.(BufferedPredictor); ok {
+		return bp.PredictInto(context, buf)
+	}
+	return append(buf[:0], p.Predict(context)...)
+}
+
 // Predictor is the interface the trace-driven simulator drives. All
 // three models implement it.
 type Predictor interface {
@@ -418,7 +458,14 @@ func (t *Tree) LongestMatch(ctx []string) (*Node, int) {
 // never race); with recording detached the candidates are computed
 // without any writes.
 func (t *Tree) PredictFrom(n *Node, threshold float64, order int) []Prediction {
-	return t.predictAt(n, threshold, order, t.recording.Load())
+	return t.predictAt(n, threshold, order, t.recording.Load(), nil)
+}
+
+// PredictFromInto is PredictFrom writing into buf per the
+// BufferedPredictor contract: buf's previous contents are discarded and
+// the result reuses its backing storage when capacity allows.
+func (t *Tree) PredictFromInto(n *Node, threshold float64, order int, buf []Prediction) []Prediction {
+	return t.predictAt(n, threshold, order, t.recording.Load(), buf)
 }
 
 // CandidatesFrom is PredictFrom without any usage marking, regardless
@@ -427,7 +474,7 @@ func (t *Tree) PredictFrom(n *Node, threshold float64, order int) []Prediction {
 // MarkPredicted, so the utilization metric counts genuine predictions
 // only.
 func (t *Tree) CandidatesFrom(n *Node, threshold float64, order int) []Prediction {
-	return t.predictAt(n, threshold, order, false)
+	return t.predictAt(n, threshold, order, false, nil)
 }
 
 // MarkPredicted marks one node as used by a prediction, honoring the
@@ -438,34 +485,53 @@ func (t *Tree) MarkPredicted(n *Node) {
 	}
 }
 
-func (t *Tree) predictAt(n *Node, threshold float64, order int, mark bool) []Prediction {
+func (t *Tree) predictAt(n *Node, threshold float64, order int, mark bool, buf []Prediction) []Prediction {
+	buf = buf[:0]
 	if n == nil || n.Count == 0 {
-		return nil
+		return buf
 	}
-	var out []Prediction
 	n.EachChild(func(c *Node) bool {
 		p := float64(c.Count) / float64(n.Count)
 		if p >= threshold {
 			if mark {
 				c.MarkUsed()
 			}
-			out = append(out, Prediction{URL: t.syms.urls[c.sym], Probability: p, Order: order})
+			buf = append(buf, Prediction{URL: t.syms.urls[c.sym], Probability: p, Order: order})
 		}
 		return true
 	})
-	SortPredictions(out)
-	return out
+	SortPredictions(buf)
+	return buf
 }
 
-// SortPredictions orders predictions by descending probability, then
-// ascending URL.
+// SortPredictions orders predictions by the pinned deterministic total
+// order: descending probability, then ascending URL. Every prediction
+// path — serial, sharded, delta-merged, and arena-frozen — emits this
+// order, so hint sets never depend on map iteration or merge order.
+//
+// Insertion sort, deliberately: candidate lists are short (a handful of
+// children clear the probability threshold) and sort.Slice allocates
+// its closure and reflect header, which would break the zero-allocation
+// guarantee of the frozen serving path.
 func SortPredictions(ps []Prediction) {
-	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].Probability != ps[j].Probability {
-			return ps[i].Probability > ps[j].Probability
+	for i := 1; i < len(ps); i++ {
+		p := ps[i]
+		j := i - 1
+		for j >= 0 && predictionLess(p, ps[j]) {
+			ps[j+1] = ps[j]
+			j--
 		}
-		return ps[i].URL < ps[j].URL
-	})
+		ps[j+1] = p
+	}
+}
+
+// predictionLess is the pinned prediction order: probability
+// descending, URL ascending.
+func predictionLess(a, b Prediction) bool {
+	if a.Probability != b.Probability {
+		return a.Probability > b.Probability
+	}
+	return a.URL < b.URL
 }
 
 // NodeCount returns the number of URL nodes in the tree, excluding the

@@ -135,15 +135,24 @@ type TreeHolder interface {
 	Tree() *Tree
 }
 
+// ArenaHolder is implemented by frozen models backed by a prediction
+// arena; the observability layer uses it the same way as TreeHolder.
+type ArenaHolder interface {
+	Arena() *Arena
+}
+
 // StatsOf returns tree statistics for any predictor backed by a
-// prediction tree; ok is false for models without one (e.g. Top-N),
-// whose only universal health signal is Predictor.NodeCount.
+// prediction tree or a frozen arena; ok is false for models without
+// either (e.g. Top-N), whose only universal health signal is
+// Predictor.NodeCount.
 func StatsOf(p Predictor) (st TreeStats, ok bool) {
-	th, ok := p.(TreeHolder)
-	if !ok || th.Tree() == nil {
-		return TreeStats{}, false
+	if th, ok := p.(TreeHolder); ok && th.Tree() != nil {
+		return th.Tree().Stats(), true
 	}
-	return th.Tree().Stats(), true
+	if ah, ok := p.(ArenaHolder); ok && ah.Arena() != nil {
+		return ah.Arena().Stats(), true
+	}
+	return TreeStats{}, false
 }
 
 // TopBranches returns the n highest-count root branches with their

@@ -63,6 +63,8 @@ type Model struct {
 }
 
 var _ markov.Predictor = (*Model)(nil)
+var _ markov.BufferedPredictor = (*Model)(nil)
+var _ markov.Freezer = (*Model)(nil)
 var _ markov.UtilizationReporter = (*Model)(nil)
 var _ markov.UsageRecorder = (*Model)(nil)
 var _ markov.ShardedTrainer = (*Model)(nil)
@@ -95,6 +97,12 @@ func (m *Model) TrainSequence(seq []string) {
 // context and returns its children above the probability threshold.
 // The matched path is marked used for the utilization metric.
 func (m *Model) Predict(context []string) []markov.Prediction {
+	return m.PredictInto(context, nil)
+}
+
+// PredictInto is Predict writing into buf per the
+// markov.BufferedPredictor buffer-ownership contract.
+func (m *Model) PredictInto(context []string, buf []markov.Prediction) []markov.Prediction {
 	ctx := context
 	if m.cfg.Height > 0 && len(ctx) >= m.cfg.Height {
 		// With a height-H tree, contexts longer than H-1 can never
@@ -102,14 +110,95 @@ func (m *Model) Predict(context []string) []markov.Prediction {
 		ctx = ctx[len(ctx)-(m.cfg.Height-1):]
 	}
 	if m.cfg.BlendOrders {
-		return m.predictBlended(ctx)
+		return append(buf[:0], m.predictBlended(ctx)...)
 	}
 	n, order := m.tree.LongestMatch(ctx)
 	if n == nil {
-		return nil
+		return buf[:0]
 	}
 	m.tree.MarkPath(ctx[len(ctx)-order:])
-	return m.tree.PredictFrom(n, m.cfg.threshold(), order)
+	return m.tree.PredictFromInto(n, m.cfg.threshold(), order, buf)
+}
+
+// Freeze returns the immutable arena-backed snapshot of the trained
+// model: identical predictions, no per-node GC load, no allocations on
+// the longest-match serving path. The blended variant keeps its
+// per-call blend state, so it freezes to a blended frozen model that is
+// immutable and arena-backed but not allocation-free.
+func (m *Model) Freeze() markov.Predictor {
+	arena := m.tree.Freeze()
+	if m.cfg.BlendOrders {
+		return &frozenBlended{name: m.Name(), arena: arena, threshold: m.cfg.threshold(), height: m.cfg.Height}
+	}
+	return markov.NewFrozenTree(arena, m.Name(), m.cfg.threshold(), m.cfg.Height)
+}
+
+// frozenBlended is the arena-backed snapshot of a BlendOrders model:
+// the blend runs over the arena with the exact arithmetic of
+// predictBlended (minus usage marking, which frozen models do not
+// record).
+type frozenBlended struct {
+	name      string
+	arena     *markov.Arena
+	threshold float64
+	height    int
+}
+
+var _ markov.BufferedPredictor = (*frozenBlended)(nil)
+var _ markov.ArenaHolder = (*frozenBlended)(nil)
+
+func (f *frozenBlended) Name() string { return f.name }
+
+func (f *frozenBlended) TrainSequence([]string) {
+	panic("ppm: TrainSequence on a frozen model; train the live model and re-freeze")
+}
+
+func (f *frozenBlended) NodeCount() int { return f.arena.NodeCount() }
+
+// Arena exposes the snapshot for stats and persistence.
+func (f *frozenBlended) Arena() *markov.Arena { return f.arena }
+
+func (f *frozenBlended) Predict(context []string) []markov.Prediction {
+	return f.PredictInto(context, nil)
+}
+
+func (f *frozenBlended) PredictInto(context []string, buf []markov.Prediction) []markov.Prediction {
+	buf = buf[:0]
+	ctx := context
+	if f.height > 0 && len(ctx) >= f.height {
+		ctx = ctx[len(ctx)-(f.height-1):]
+	}
+	best := make(map[string]markov.Prediction)
+	for i := 0; i < len(ctx); i++ {
+		n, ok := f.arena.Match(ctx[i:])
+		if !ok || f.arena.Count(n) == 0 {
+			continue
+		}
+		order := len(ctx) - i
+		total := f.arena.Count(n)
+		confidence := 1 - 1/(1+float64(total))
+		f.arena.EachChild(n, func(child uint32, url string) bool {
+			p := markov.Prediction{
+				URL:         url,
+				Probability: float64(f.arena.Count(child)) / float64(total) * confidence,
+				Order:       order,
+			}
+			if b, ok := best[url]; !ok || p.Probability > b.Probability {
+				best[url] = p
+			}
+			return true
+		})
+	}
+	for _, p := range best {
+		if p.Probability >= f.threshold {
+			buf = append(buf, p)
+		}
+	}
+	if len(buf) == 0 {
+		return buf
+	}
+	markov.SortPredictions(buf)
+	return buf
 }
 
 // predictBlended combines candidates across every matching order. A

@@ -480,6 +480,16 @@ func (s *Server) observePrefetchFetch(client, url string) {
 	}
 }
 
+// predBufPool recycles prediction scratch buffers across requests. The
+// markov.BufferedPredictor contract guarantees the model neither
+// retains the buffer nor aliases its own storage into it, so a buffer
+// can be returned to the pool as soon as the hints have been filtered
+// out of it. With an arena-frozen model this makes the per-request
+// prediction completely allocation-free in steady state.
+var predBufPool = sync.Pool{
+	New: func() any { return new([]markov.Prediction) },
+}
+
 // observeDemand updates the client's session context, popularity, and
 // statistics, and computes the prefetch hints for this response. Only
 // the client's context shard (and briefly the ranking mutex) is locked;
@@ -538,12 +548,14 @@ func (s *Server) observeDemand(client, url string) []markov.Prediction {
 		span.Finish(client, url)
 		return nil
 	}
-	preds := pred.Predict(snapshot)
+	bufp := predBufPool.Get().(*[]markov.Prediction)
+	preds := markov.PredictInto(pred, snapshot, *bufp)
 	span.Mark(obs.StagePredict)
-	// Filter into a fresh slice: the predictor owns the returned slice
-	// and may hand the same backing array to another request (a model
-	// serving from a reused buffer), so compacting in place over
-	// preds[:0] would corrupt a concurrent caller's hints.
+	// Filter into a fresh slice: preds lives in pooled scratch that the
+	// next request will overwrite (the markov.BufferedPredictor contract
+	// says the result reuses buf's storage), while the hints escape into
+	// the client context. Compacting in place over preds[:0] and handing
+	// that out would let a recycled buffer corrupt an earlier response.
 	limit := s.cfg.maxHints()
 	if limit > len(preds) {
 		limit = len(preds)
@@ -558,6 +570,8 @@ func (s *Server) observeDemand(client, url string) []markov.Prediction {
 			break
 		}
 	}
+	*bufp = preds[:0]
+	predBufPool.Put(bufp)
 	s.metrics.hintsIssued.Add(int64(len(out)))
 	if len(out) > 0 {
 		// Remember what was hinted so later requests can close the

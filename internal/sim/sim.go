@@ -308,6 +308,12 @@ func Run(test []session.Session, opt Options) metrics.Result {
 		opt.OnProgress(p)
 	}
 
+	// One prediction scratch buffer is reused for the whole replay: the
+	// markov.BufferedPredictor contract guarantees predictions are
+	// consumed before the next call overwrites them, so an arena-frozen
+	// model runs the entire event loop without per-event allocations.
+	var predBuf []markov.Prediction
+
 	for evIdx, ev := range events {
 		v := test[ev.session].Views[ev.view]
 		size := v.TotalBytes()
@@ -388,7 +394,8 @@ func Run(test []session.Session, opt Options) metrics.Result {
 			}
 		}
 		if opt.Predictor != nil && reachedServer && len(ctx) > 0 {
-			for _, p := range opt.Predictor.Predict(ctx) {
+			predBuf = markov.PredictInto(opt.Predictor, ctx, predBuf)
+			for _, p := range predBuf {
 				psize, known := sizes[p.URL]
 				if !known || psize > maxPf {
 					continue

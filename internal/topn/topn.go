@@ -39,6 +39,7 @@ type Model struct {
 }
 
 var _ markov.Predictor = (*Model)(nil)
+var _ markov.BufferedPredictor = (*Model)(nil)
 
 // New returns an empty Top-N model.
 func New(cfg Config) *Model {
@@ -62,11 +63,18 @@ func (m *Model) TrainSequence(seq []string) {
 // but useless. Predict only reads the ranking, so once training has
 // ceased it is safe for unsynchronized concurrent use.
 func (m *Model) Predict(context []string) []markov.Prediction {
+	return m.PredictInto(context, nil)
+}
+
+// PredictInto is Predict writing into buf per the
+// markov.BufferedPredictor buffer-ownership contract (the ranking
+// lookup itself still allocates its top-N scratch).
+func (m *Model) PredictInto(context []string, buf []markov.Prediction) []markov.Prediction {
+	buf = buf[:0]
 	cur := ""
 	if len(context) > 0 {
 		cur = context[len(context)-1]
 	}
-	var out []markov.Prediction
 	for _, u := range m.rank.Top(m.cfg.n() + 1) {
 		if u == cur {
 			continue
@@ -75,12 +83,12 @@ func (m *Model) Predict(context []string) []markov.Prediction {
 		if rp < m.cfg.MinRelative {
 			continue
 		}
-		out = append(out, markov.Prediction{URL: u, Probability: rp, Order: 0})
-		if len(out) == m.cfg.n() {
+		buf = append(buf, markov.Prediction{URL: u, Probability: rp, Order: 0})
+		if len(buf) == m.cfg.n() {
 			break
 		}
 	}
-	return out
+	return buf
 }
 
 // NodeCount reports the model's storage requirement: one counter per

@@ -41,6 +41,28 @@ type UtilizationReporter = markov.UtilizationReporter
 // performs no writes.
 type UsageRecorder = markov.UsageRecorder
 
+// BufferedPredictor is implemented by models whose Predict can write
+// into a caller-supplied buffer, making repeated prediction
+// allocation-free. See the interface's buffer-ownership contract.
+type BufferedPredictor = markov.BufferedPredictor
+
+// Freezer is implemented by models that can produce an immutable
+// arena-backed snapshot of themselves for allocation- and GC-free
+// serving.
+type Freezer = markov.Freezer
+
+// Arena is the flat, relocatable single-buffer representation of a
+// frozen prediction tree.
+type Arena = markov.Arena
+
+// PredictInto routes a prediction through p's BufferedPredictor fast
+// path when available and falls back to copying Predict's result into
+// buf otherwise. The returned slice follows the BufferedPredictor
+// buffer-ownership contract.
+func PredictInto(p Predictor, context []string, buf []Prediction) []Prediction {
+	return markov.PredictInto(p, context, buf)
+}
+
 // Aliases to the concrete model types so callers can hold them
 // directly and reach model-specific methods (Optimize, Patterns, ...).
 type (
