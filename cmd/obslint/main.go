@@ -1,0 +1,77 @@
+// Command obslint validates a Prometheus text exposition against the
+// format rules and naming conventions enforced by
+// obs.ValidateExposition: HELP/TYPE before samples, no duplicate
+// series, parseable values, counters ending in _total, no reserved
+// suffixes on gauges and histograms.
+//
+// The exposition is read from -url (a live /metrics endpoint), from a
+// file argument, or from stdin:
+//
+//	obslint -url http://localhost:8081/metrics
+//	curl -s http://localhost:8081/metrics | obslint
+//	obslint exposition.txt
+//
+// It exits 0 on a clean exposition and 1 with the violation on a bad
+// one, so CI can gate on a live scrape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"pbppm/internal/obs"
+)
+
+func main() {
+	url := flag.String("url", "", "scrape this endpoint instead of reading a file or stdin")
+	flag.Parse()
+
+	text, src, err := read(*url, flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obslint: %v\n", err)
+		os.Exit(1)
+	}
+	if err := obs.ValidateExposition(text); err != nil {
+		fmt.Fprintf(os.Stderr, "obslint: %s: %v\n", src, err)
+		os.Exit(1)
+	}
+	fmt.Printf("obslint: %s: ok\n", src)
+}
+
+// read resolves the input precedence: -url, then a file argument, then
+// stdin.
+func read(url string, args []string) (text, src string, err error) {
+	switch {
+	case url != "":
+		client := &http.Client{Timeout: 10 * time.Second}
+		resp, err := client.Get(url)
+		if err != nil {
+			return "", "", err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return "", "", fmt.Errorf("%s: status %s", url, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", "", err
+		}
+		return string(body), url, nil
+	case len(args) > 0:
+		body, err := os.ReadFile(args[0])
+		if err != nil {
+			return "", "", err
+		}
+		return string(body), args[0], nil
+	default:
+		body, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return "", "", err
+		}
+		return string(body), "stdin", nil
+	}
+}

@@ -13,52 +13,53 @@
 //	prefetchd [-addr :8080] [-admin-addr :8081] [-profile nasa|ucbcs]
 //	          [-delta-interval 1m] [-compact-interval 30m]
 //	          [-rebuild 10m] [-trace-sample N] [-log-level info]
+//	          [-slo "name=...,kind=...,target=..."] [-slo-file path]
+//	          [-live-window 5m]
 //
 // The admin listener serves /metrics (Prometheus text exposition),
-// /healthz, /debug/pprof, /debug/stats, and /debug/traces away from
-// end-user traffic. The process shuts down gracefully on SIGINT or
-// SIGTERM, draining in-flight requests and logging a final stats
-// snapshot.
+// /healthz, /debug/pprof, /debug/stats, /debug/traces, and /debug/slo
+// away from end-user traffic. The exposition carries the live paper
+// metrics — pbppm_live_precision, pbppm_live_hit_ratio, and
+// pbppm_live_traffic_increase, scored online from hint-lifecycle
+// events and client hit reports over the -live-window rolling window —
+// and /debug/slo evaluates the -slo objectives with multi-window burn
+// rates, annotated with model-publish markers. The process shuts down
+// gracefully on SIGINT or SIGTERM, draining in-flight requests and
+// logging final stats, quality, and SLO snapshots.
 //
 // Try it:
 //
 //	curl -i -H 'X-Client-ID: me' http://localhost:8080/d0/page0000.html
 //	curl http://localhost:8081/metrics
+//	curl http://localhost:8081/debug/slo
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
-	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
-	"pbppm/internal/core"
-	"pbppm/internal/maintain"
-	"pbppm/internal/markov"
 	"pbppm/internal/obs"
-	"pbppm/internal/popularity"
-	"pbppm/internal/server"
-	"pbppm/internal/session"
-	"pbppm/internal/tracegen"
 )
 
 func main() {
-	var (
-		addr        = flag.String("addr", ":8080", "serving listen address")
-		adminAddr   = flag.String("admin-addr", ":8081", "admin listen address for /metrics, /healthz, /debug; empty disables")
-		profileName = flag.String("profile", "nasa", "site profile: nasa or ucbcs")
-		rebuild     = flag.Duration("rebuild", 10*time.Minute, "legacy rebuild-only interval, used when -delta-interval is 0")
-		deltaEvery  = flag.Duration("delta-interval", time.Minute, "incremental delta-merge interval (0 disables incremental maintenance)")
-		compactNear = flag.Duration("compact-interval", 30*time.Minute, "full compaction interval for incremental maintenance")
-		traceSample = flag.Int("trace-sample", 0, "sample 1 in N demand requests for predict-path tracing (0 = off)")
-		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, or error")
-	)
+	var cfg appConfig
+	flag.StringVar(&cfg.addr, "addr", ":8080", "serving listen address")
+	flag.StringVar(&cfg.adminAddr, "admin-addr", ":8081", "admin listen address for /metrics, /healthz, /debug; empty disables")
+	flag.StringVar(&cfg.profileName, "profile", "nasa", "site profile: nasa or ucbcs")
+	flag.DurationVar(&cfg.rebuild, "rebuild", 10*time.Minute, "legacy rebuild-only interval, used when -delta-interval is 0")
+	flag.DurationVar(&cfg.deltaEvery, "delta-interval", time.Minute, "incremental delta-merge interval (0 disables incremental maintenance)")
+	flag.DurationVar(&cfg.compactNear, "compact-interval", 30*time.Minute, "full compaction interval for incremental maintenance")
+	flag.IntVar(&cfg.traceSample, "trace-sample", 0, "sample 1 in N demand requests for predict-path tracing (0 = off)")
+	flag.StringVar(&cfg.slo, "slo", defaultSLO, "service objectives: ';'-separated key=value lists (kind=latency|precision|hit_ratio)")
+	flag.StringVar(&cfg.sloFile, "slo-file", "", "file of objectives, one per line, same grammar as -slo; overrides -slo")
+	flag.DurationVar(&cfg.liveWindow, "live-window", 5*time.Minute, "rolling window for the live paper-metric gauges")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
 	flag.Parse()
 
 	var level slog.Level
@@ -67,229 +68,18 @@ func main() {
 		os.Exit(2)
 	}
 	logger := obs.NewLogger(os.Stderr, level)
-	log := obs.Component(logger, "prefetchd")
 
-	var p tracegen.Profile
-	switch *profileName {
-	case "nasa":
-		p = tracegen.NASA()
-	case "ucbcs":
-		p = tracegen.UCBCS()
-	default:
-		fmt.Fprintf(os.Stderr, "prefetchd: unknown profile %q\n", *profileName)
-		os.Exit(2)
-	}
-
-	site, err := tracegen.BuildSite(p)
+	a, err := newApp(cfg, logger)
 	if err != nil {
-		log.Error("building site", "err", err)
+		fmt.Fprintf(os.Stderr, "prefetchd: %v\n", err)
 		os.Exit(1)
 	}
-	store := storeFromSite(site)
-
-	// Warm-start: train on a generated history of the same site.
-	warm := p
-	warm.Days = 3
-	tr, err := tracegen.GenerateOn(site, warm)
-	if err != nil {
-		log.Error("generating warm history", "err", err)
-		os.Exit(1)
-	}
-	sessions := session.Sessionize(tr, session.Config{})
-
-	reg := obs.NewRegistry()
-	tracer := obs.NewTracer(reg, *traceSample)
-
-	factory := func(rank *popularity.Ranking) markov.Predictor {
-		return core.New(rank, core.Config{RelProbCutoff: 0.01, DropSingletons: true})
-	}
-	// The server is constructed after the maintainer (the warm model
-	// feeds its Config), so OnPublish closes over this variable; it is
-	// assigned before the maintenance loop starts publishing.
-	var srv *server.Server
-	maint, err := maintain.New(maintain.Config{
-		Factory: factory,
-		Obs:     reg,
-		Logger:  logger,
-		OnPublish: func(p markov.Predictor) {
-			if srv != nil {
-				srv.SetPredictor(p)
-			}
-		},
-	})
-	if err != nil {
-		log.Error("creating maintainer", "err", err)
-		os.Exit(1)
-	}
-	// The warm history carries the generator's synthetic timestamps;
-	// shift each session to end "now" minus its age within the history
-	// so the sliding window keeps all of it.
-	shift := time.Since(tr.Epoch.Add(time.Duration(warm.Days) * 24 * time.Hour))
-	for _, s := range sessions {
-		shifted := s
-		shifted.Views = make([]session.PageView, len(s.Views))
-		for i, v := range s.Views {
-			v.Time = v.Time.Add(shift)
-			shifted.Views[i] = v
-		}
-		maint.Observe(shifted)
-	}
-	model := maint.Rebuild(time.Now())
-	var arenaBytes int
-	if ah, ok := model.(markov.ArenaHolder); ok {
-		arenaBytes = ah.Arena().SizeBytes()
-	}
-	log.Info("warm model trained", "sessions", len(sessions),
-		"nodes", model.NodeCount(), "arena_bytes", arenaBytes)
-
-	srv = server.New(store, server.Config{
-		Predictor: model,
-		Obs:       reg,
-		Tracer:    tracer,
-		// Completed live sessions flow into the maintenance window so
-		// rebuilds track real traffic.
-		OnSessionEnd: func(client string, urls []string, last time.Time) {
-			s := session.Session{Client: client}
-			for i, u := range urls {
-				s.Views = append(s.Views, session.PageView{
-					URL:  u,
-					Time: last.Add(time.Duration(i-len(urls)) * time.Minute),
-				})
-			}
-			maint.Observe(s)
-		},
-	})
 
 	// Shut down on SIGINT/SIGTERM: stop the maintenance loops, drain
-	// in-flight requests, and log a final stats snapshot.
+	// in-flight requests, and log the final snapshots.
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
-
-	go maintLoop(ctx, maint, srv, *deltaEvery, *compactNear, *rebuild)
-
-	mux := http.NewServeMux()
-	mux.Handle("/", srv)
-
-	admin := obs.NewAdminMux(reg, nil)
-	admin.HandleFunc("/debug/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeStats(w, srv.Stats(), maint.Rebuilds(), maint.DeltaMerges())
-	})
-	admin.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		for _, rec := range tracer.Recent() {
-			fmt.Fprintln(w, rec)
-		}
-	})
-
-	web := &http.Server{Addr: *addr, Handler: mux}
-	errs := make(chan error, 2)
-	go func() { errs <- web.ListenAndServe() }()
-	log.Info("serving", "pages", len(site.Pages), "addr", *addr,
-		"profile", p.Name, "delta_interval", *deltaEvery,
-		"compact_interval", *compactNear, "rebuild", *rebuild)
-
-	var adminSrv *http.Server
-	if *adminAddr != "" {
-		adminSrv = &http.Server{Addr: *adminAddr, Handler: admin}
-		go func() { errs <- adminSrv.ListenAndServe() }()
-		log.Info("admin listening", "addr", *adminAddr)
+	if err := a.run(ctx); err != nil {
+		os.Exit(1)
 	}
-
-	select {
-	case <-ctx.Done():
-		log.Info("shutdown signal received")
-	case err := <-errs:
-		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Error("listener failed", "err", err)
-		}
-		cancel()
-	}
-
-	shutdownCtx, stop := context.WithTimeout(context.Background(), 10*time.Second)
-	defer stop()
-	if err := web.Shutdown(shutdownCtx); err != nil {
-		log.Warn("draining serving listener", "err", err)
-	}
-	if adminSrv != nil {
-		if err := adminSrv.Shutdown(shutdownCtx); err != nil {
-			log.Warn("draining admin listener", "err", err)
-		}
-	}
-
-	st := srv.Stats()
-	log.Info("final stats",
-		"demand", st.DemandRequests,
-		"prefetch", st.PrefetchRequests,
-		"not_found", st.NotFound,
-		"hints_issued", st.HintsIssued,
-		"hint_fetches", st.HintFetches,
-		"hint_hits", st.HintHits,
-		"sessions", st.SessionsStarted,
-		"rebuilds", maint.Rebuilds(),
-		"delta_merges", maint.DeltaMerges())
-}
-
-// maintLoop runs model maintenance until ctx is cancelled. With delta
-// > 0 it runs the incremental schedule (delta merges every delta,
-// compactions every compact); otherwise the legacy rebuild-only loop.
-// Published models reach the server through maintain.Config.OnPublish.
-// Client-context expiry runs on its own ticker so session trimming
-// never waits behind a long compaction.
-func maintLoop(ctx context.Context, maint *maintain.Maintainer, srv *server.Server, delta, compact, rebuild time.Duration) {
-	stop := make(chan struct{})
-	go func() {
-		<-ctx.Done()
-		close(stop)
-	}()
-
-	expireEvery := delta
-	if expireEvery <= 0 {
-		expireEvery = rebuild
-	}
-	go func() {
-		ticker := time.NewTicker(expireEvery)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-ticker.C:
-				srv.ExpireSessions()
-			}
-		}
-	}()
-
-	if delta > 0 {
-		maint.RunIncremental(delta, compact, stop)
-		return
-	}
-	maint.Run(rebuild, stop)
-}
-
-// writeStats renders the plain-text stats snapshot for /debug/stats.
-func writeStats(w http.ResponseWriter, st server.Stats, rebuilds, deltaMerges int) {
-	fmt.Fprintf(w, "demand %d\nprefetch %d\nnot-found %d\nhints %d\nhint-fetches %d\nhint-hits %d\nsessions %d\nrebuilds %d\ndelta-merges %d\n",
-		st.DemandRequests, st.PrefetchRequests, st.NotFound,
-		st.HintsIssued, st.HintFetches, st.HintHits,
-		st.SessionsStarted, rebuilds, deltaMerges)
-}
-
-// storeFromSite materializes synthetic bodies for every page and image.
-func storeFromSite(site *tracegen.Site) server.MapStore {
-	store := server.MapStore{}
-	for _, pg := range site.Pages {
-		store[pg.URL] = server.Document{
-			URL:         pg.URL,
-			Body:        make([]byte, pg.Size),
-			ContentType: "text/html; charset=utf-8",
-		}
-		for _, img := range pg.Images {
-			store[img.URL] = server.Document{
-				URL:         img.URL,
-				Body:        make([]byte, img.Size),
-				ContentType: "image/gif",
-			}
-		}
-	}
-	return store
 }

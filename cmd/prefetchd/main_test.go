@@ -1,0 +1,208 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pbppm/internal/obs"
+)
+
+// syncBuffer is an io.Writer safe for the concurrent slog handlers the
+// app's goroutines share.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func testConfig() appConfig {
+	return appConfig{
+		addr:        "127.0.0.1:0",
+		adminAddr:   "127.0.0.1:0",
+		profileName: "nasa",
+		rebuild:     time.Minute,
+		deltaEvery:  50 * time.Millisecond,
+		compactNear: time.Minute,
+		traceSample: 1,
+		slo:         defaultSLO + ";kind=precision,target=0.01;kind=hit_ratio,target=0.01",
+		liveWindow:  time.Minute,
+		warmDays:    1,
+	}
+}
+
+// TestGracefulShutdownUnderScrapes boots the full daemon on ephemeral
+// ports, hammers it with demand traffic and admin scrapes, then
+// cancels the run context while requests are still in flight: run must
+// drain both listeners, return cleanly, and flush the final quality
+// and SLO snapshots to the log. Run with -race, it also exercises the
+// serving/scrape/maintenance concurrency.
+func TestGracefulShutdownUnderScrapes(t *testing.T) {
+	logBuf := &syncBuffer{}
+	a, err := newApp(testConfig(), obs.NewLogger(logBuf, slog.LevelInfo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.listen(); err != nil {
+		t.Fatal(err)
+	}
+	webURL := "http://" + a.webLn.Addr().String()
+	adminURL := "http://" + a.adminLn.Addr().String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- a.run(ctx) }()
+
+	get := func(url string) (string, error) {
+		resp, err := http.Get(url)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return string(body), err
+	}
+
+	// Wait for the admin listener to serve.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if body, err := get(adminURL + "/healthz"); err == nil && strings.Contains(body, "ok") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("admin listener never became healthy")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Concurrent load: demand traffic on the serving port, scrapes and
+	// SLO evaluations on the admin port, until told to stop.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{Timeout: 2 * time.Second}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req, _ := http.NewRequest(http.MethodGet,
+					fmt.Sprintf("%s/d0/page%04d.html", webURL, i%8), nil)
+				req.Header.Set("X-Client-ID", fmt.Sprintf("c%d", g))
+				if resp, err := client.Do(req); err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	for _, path := range []string{"/metrics", "/debug/slo", "/debug/stats", "/debug/traces"} {
+		path := path
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				get(adminURL + path)
+			}
+		}()
+	}
+
+	// Let traffic flow, then check the live surfaces while loaded.
+	time.Sleep(300 * time.Millisecond)
+	metrics, err := get(adminURL + "/metrics")
+	if err != nil {
+		t.Fatalf("scraping /metrics under load: %v", err)
+	}
+	if err := obs.ValidateExposition(metrics); err != nil {
+		t.Errorf("live exposition invalid: %v", err)
+	}
+	for _, want := range []string{"pbppm_live_precision", "pbppm_build_info", "pbppm_go_goroutines", "pbppm_slo_state"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("live exposition missing %s", want)
+		}
+	}
+	sloBody, err := get(adminURL + "/debug/slo")
+	if err != nil {
+		t.Fatalf("fetching /debug/slo: %v", err)
+	}
+	var rep struct {
+		Objectives []struct {
+			Name  string `json:"name"`
+			State string `json:"state"`
+		} `json:"objectives"`
+	}
+	if err := json.Unmarshal([]byte(sloBody), &rep); err != nil {
+		t.Fatalf("/debug/slo is not JSON: %v\n%s", err, sloBody)
+	}
+	if len(rep.Objectives) != 3 {
+		t.Errorf("/debug/slo objectives = %d, want 3", len(rep.Objectives))
+	}
+
+	// Shut down while the load goroutines are still firing.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not drain and return after cancel")
+	}
+	close(stop)
+	wg.Wait()
+
+	logs := logBuf.String()
+	for _, want := range []string{"final stats", "final quality", "final slo", "precision"} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("shutdown log missing %q", want)
+		}
+	}
+}
+
+// TestLoadObjectivesFile: -slo-file overrides -slo and accepts the
+// newline/comment grammar.
+func TestLoadObjectivesFile(t *testing.T) {
+	path := t.TempDir() + "/slo.conf"
+	content := "# quality objectives\nkind=precision,target=0.3\n\nname=hr,kind=hit_ratio,target=0.2\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	objs, err := loadObjectives(appConfig{slo: "kind=latency,target=0.5,threshold=1s", sloFile: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 || objs[0].Kind != "precision" || objs[1].Name != "hr" {
+		t.Errorf("objectives = %+v", objs)
+	}
+}

@@ -87,6 +87,12 @@ type Config struct {
 	// Logger receives rebuild progress lines, tagged component=maintain;
 	// nil discards them.
 	Logger *slog.Logger
+	// Annotations, if set, receives a publish-event marker for every
+	// successful model swap — kind "compaction" for full rebuilds,
+	// "delta_merge" for incremental merges — so dashboards and the
+	// /debug/slo report can correlate quality shifts with model
+	// updates. Nil disables the markers.
+	Annotations *obs.Annotations
 }
 
 func (c Config) window() time.Duration {
@@ -214,6 +220,13 @@ type Maintainer struct {
 	current     atomic.Pointer[predictorCell]
 	rebuilds    atomic.Int64
 	deltaMerges atomic.Int64
+
+	// lastRank is the popularity ranking derived from the window at the
+	// last compaction, published for the serving layer to grade live
+	// hint-lifecycle events (Ranking). Delta merges deliberately do not
+	// touch it: like the space optimizations, re-ranking belongs to the
+	// compaction path.
+	lastRank atomic.Pointer[popularity.Ranking]
 }
 
 // New returns an empty maintainer. It returns an error on a nil
@@ -308,6 +321,14 @@ func (m *Maintainer) Predictor() markov.Predictor {
 		return c.p
 	}
 	return nil
+}
+
+// Ranking returns the popularity ranking derived from the window at
+// the last compaction, or nil before the first one. It implements
+// popularity.Grader, so the serving layer can grade live hint events
+// with the same ranking the published model was built from.
+func (m *Maintainer) Ranking() *popularity.Ranking {
+	return m.lastRank.Load()
 }
 
 // takeStaged drains the staging buffer and returns the batch.
@@ -445,8 +466,9 @@ func (m *Maintainer) rebuildLocked(now time.Time) markov.Predictor {
 	}
 
 	var model markov.Predictor
+	var rank *popularity.Ranking
 	err := guarded(func() {
-		rank := popularity.NewRanking()
+		rank = popularity.NewRanking()
 		for _, s := range window {
 			for _, v := range s.Views {
 				rank.Observe(v.URL, 1)
@@ -471,8 +493,15 @@ func (m *Maintainer) rebuildLocked(now time.Time) markov.Predictor {
 		return prev
 	}
 
+	// Publish the ranking before the model so an OnPublish observer
+	// that grades by Ranking() sees the ranking the new model was
+	// built from, not the previous compaction's.
+	m.lastRank.Store(rank)
 	published := m.publish(model)
 	m.rebuilds.Add(1)
+	m.cfg.Annotations.Add("compaction",
+		fmt.Sprintf("model=%s sessions=%d nodes=%d",
+			published.Name(), len(window), published.NodeCount()))
 
 	dur := time.Since(start)
 	m.metrics.rebuilds.Inc()
@@ -544,6 +573,9 @@ func (m *Maintainer) DeltaMerge(now time.Time) markov.Predictor {
 
 	published := m.publish(merged)
 	m.deltaMerges.Add(1)
+	m.cfg.Annotations.Add("delta_merge",
+		fmt.Sprintf("model=%s delta_sessions=%d nodes=%d",
+			published.Name(), len(batch), published.NodeCount()))
 
 	dur := time.Since(start)
 	m.metrics.deltaMerges.Inc()

@@ -1,12 +1,14 @@
 package maintain
 
 import (
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"pbppm/internal/core"
 	"pbppm/internal/markov"
+	"pbppm/internal/obs"
 	"pbppm/internal/popularity"
 	"pbppm/internal/session"
 )
@@ -257,4 +259,55 @@ func TestRunLoop(t *testing.T) {
 	}
 	close(stop)
 	<-done
+}
+
+// TestPublishAnnotationsAndRanking: every successful publish drops a
+// timeline marker (compaction vs delta-merge) and compactions refresh
+// the window ranking exposed through Ranking for live-event grading.
+func TestPublishAnnotationsAndRanking(t *testing.T) {
+	ann := obs.NewAnnotations()
+	m, err := New(Config{Factory: pbFactory, Annotations: ann})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Ranking() != nil {
+		t.Error("ranking before first compaction")
+	}
+
+	m.Observe(mkSession(0, "/home", "/news"))
+	m.Observe(mkSession(1, "/home", "/sports"))
+	m.Rebuild(epoch.Add(2 * time.Hour))
+
+	rank := m.Ranking()
+	if rank == nil {
+		t.Fatal("no ranking after compaction")
+	}
+	if got := rank.Count("/home"); got != 2 {
+		t.Errorf("ranking Count(/home) = %d, want 2", got)
+	}
+
+	m.Observe(mkSession(3, "/home", "/news"))
+	m.DeltaMerge(epoch.Add(4 * time.Hour))
+	if m.Ranking() != rank {
+		t.Error("delta merge replaced the compaction ranking")
+	}
+
+	recent := ann.Recent() // newest first
+	if len(recent) != 2 {
+		t.Fatalf("annotations = %+v, want compaction then delta_merge", recent)
+	}
+	if recent[0].Kind != "delta_merge" || recent[1].Kind != "compaction" {
+		t.Errorf("annotation kinds = %q, %q", recent[0].Kind, recent[1].Kind)
+	}
+	for _, a := range recent {
+		if !strings.Contains(a.Detail, "model=PB-PPM") || !strings.Contains(a.Detail, "nodes=") {
+			t.Errorf("annotation detail %q missing model/nodes", a.Detail)
+		}
+	}
+
+	// A skipped update leaves no marker.
+	m.Rebuild(epoch.Add(100000 * time.Hour)) // trims the whole window: skipped
+	if got := len(ann.Recent()); got != 2 {
+		t.Errorf("skipped rebuild added a marker: %d annotations", got)
+	}
 }

@@ -16,9 +16,16 @@ import (
 // healthz may be nil for an unconditionally healthy process. Callers
 // add their own extra endpoints (e.g. /debug/stats) on the returned
 // mux.
+//
+// Building the mux also registers the process-wide telemetry every
+// admin endpoint should carry: pbppm_build_info (build identity) and
+// the pbppm_go_* runtime collector (goroutines, heap, GC pauses,
+// scheduler latency). Both registrations are idempotent.
 func NewAdminMux(reg *Registry, healthz func() error) *http.ServeMux {
 	mux := http.NewServeMux()
 	if reg != nil {
+		RegisterBuildInfo(reg)
+		RegisterRuntimeMetrics(reg)
 		mux.Handle("/metrics", reg.Handler())
 	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {

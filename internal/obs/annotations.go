@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Annotation is one timeline marker — a model publish, a config
+// change — that dashboards and /debug/slo overlay on the quality
+// time series so dips are attributable to events.
+type Annotation struct {
+	Time   time.Time `json:"time"`
+	Kind   string    `json:"kind"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// annotationRingCap bounds the annotation ring; newest markers win.
+const annotationRingCap = 64
+
+// Annotations is a bounded ring of timeline markers, safe for
+// concurrent use. The zero value is not usable; call NewAnnotations.
+type Annotations struct {
+	clock func() time.Time
+
+	mu     sync.Mutex
+	ring   [annotationRingCap]Annotation
+	next   int
+	filled int
+}
+
+// NewAnnotations returns an empty annotation ring.
+func NewAnnotations() *Annotations {
+	return &Annotations{clock: time.Now}
+}
+
+// SetClock injects a fake clock for tests.
+func (a *Annotations) SetClock(clock func() time.Time) { a.clock = clock }
+
+// Add records one marker now. Safe on a nil ring (a no-op), so
+// producers need no "is annotation wiring on?" branches.
+func (a *Annotations) Add(kind, detail string) {
+	if a == nil {
+		return
+	}
+	ann := Annotation{Time: a.clock(), Kind: kind, Detail: detail}
+	a.mu.Lock()
+	a.ring[a.next] = ann
+	a.next = (a.next + 1) % annotationRingCap
+	if a.filled < annotationRingCap {
+		a.filled++
+	}
+	a.mu.Unlock()
+}
+
+// Recent returns the recorded markers, newest first.
+func (a *Annotations) Recent() []Annotation {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Annotation, 0, a.filled)
+	for i := 0; i < a.filled; i++ {
+		out = append(out, a.ring[(a.next-1-i+2*annotationRingCap)%annotationRingCap])
+	}
+	return out
+}

@@ -109,6 +109,9 @@ func ValidateExposition(text string) error {
 				default:
 					return fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
 				}
+				if err := checkNamingConvention(name, fields[3]); err != nil {
+					return fmt.Errorf("line %d: %v", lineNo, err)
+				}
 				f.kind = fields[3]
 				f.sawType = true
 			}
@@ -174,6 +177,31 @@ func ValidateExposition(text string) error {
 	if open != "" {
 		if err := finish(open); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// reservedSuffixes are sample-name suffixes the exposition format
+// generates for histogram (and summary) families; a gauge or histogram
+// family name carrying one would collide with those samples.
+var reservedSuffixes = []string{"_total", "_sum", "_count", "_bucket"}
+
+// checkNamingConvention enforces the Prometheus naming conventions the
+// repo's metrics promise: counter family names end in _total, and
+// gauge/histogram family names carry no reserved suffix (_total, _sum,
+// _count, _bucket).
+func checkNamingConvention(name, kind string) error {
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			return fmt.Errorf("counter %s does not end in _total", name)
+		}
+	case "gauge", "histogram":
+		for _, s := range reservedSuffixes {
+			if strings.HasSuffix(name, s) {
+				return fmt.Errorf("%s %s ends in reserved suffix %s", kind, name, s)
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseObjectives(t *testing.T) {
+	objs, err := ParseObjectives(
+		"name=demand-latency,kind=latency,threshold=200ms,target=0.99; kind=precision,target=0.3")
+	if err != nil {
+		t.Fatalf("ParseObjectives: %v", err)
+	}
+	if len(objs) != 2 {
+		t.Fatalf("parsed %d objectives, want 2", len(objs))
+	}
+	if objs[0].Name != "demand-latency" || objs[0].Kind != "latency" ||
+		objs[0].Threshold != 200*time.Millisecond || objs[0].Target != 0.99 {
+		t.Fatalf("objective 0 = %+v", objs[0])
+	}
+	if objs[1].name() != "precision" {
+		t.Fatalf("objective 1 default name = %q, want kind", objs[1].name())
+	}
+}
+
+func TestParseObjectivesFileGrammar(t *testing.T) {
+	objs, err := ParseObjectives("# comment line\nkind=latency,threshold=1s,target=0.5\n\nkind=hit_ratio,target=0.2\n")
+	if err != nil {
+		t.Fatalf("ParseObjectives: %v", err)
+	}
+	if len(objs) != 2 {
+		t.Fatalf("parsed %d objectives, want 2", len(objs))
+	}
+}
+
+func TestParseObjectivesErrors(t *testing.T) {
+	for _, bad := range []string{
+		"kind=latency,target=0.99",          // latency without threshold
+		"kind=precision,target=1.5",         // target out of range
+		"target=0.5",                        // missing kind
+		"kind=latency,threshold=200ms,nope", // not key=value
+		"kind=latency,threshold=xyz,target=0.9",
+	} {
+		if _, err := ParseObjectives(bad); err == nil {
+			t.Errorf("ParseObjectives(%q) accepted invalid input", bad)
+		}
+	}
+}
+
+func TestSLOEngineStates(t *testing.T) {
+	objs := []Objective{{Name: "lat", Kind: "latency", Threshold: 100 * time.Millisecond, Target: 0.9}}
+	e := NewSLOEngine(objs)
+
+	// No source bound: no data.
+	if st := e.Evaluate().Objectives[0]; st.State != SLOStateNoData {
+		t.Fatalf("unbound state = %q, want no_data", st.State)
+	}
+
+	var good, total float64
+	e.Bind("latency", func(threshold, span time.Duration) (float64, float64) {
+		return good, total
+	})
+
+	// No traffic: still no data.
+	if st := e.Evaluate().Objectives[0]; st.State != SLOStateNoData {
+		t.Fatalf("no-traffic state = %q, want no_data", st.State)
+	}
+
+	// 99% good against a 90% target: ok, burn rate 0.1.
+	good, total = 99, 100
+	st := e.Evaluate().Objectives[0]
+	if st.State != SLOStateOK {
+		t.Fatalf("state = %q, want ok", st.State)
+	}
+	if b := st.Windows[0].BurnRate; b < 0.09 || b > 0.11 {
+		t.Fatalf("burn rate = %v, want ~0.1", b)
+	}
+
+	// 85% good: burning (burn 1.5).
+	good, total = 85, 100
+	if st := e.Evaluate().Objectives[0]; st.State != SLOStateBurning {
+		t.Fatalf("state = %q, want burning", st.State)
+	}
+
+	// 50% good: critical in both windows (burn 5).
+	good, total = 50, 100
+	if st := e.Evaluate().Objectives[0]; st.State != SLOStateCritical {
+		t.Fatalf("state = %q, want critical", st.State)
+	}
+}
+
+func TestSLOHandlerAndMetrics(t *testing.T) {
+	objs, err := ParseObjectives("name=lat,kind=latency,threshold=100ms,target=0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewSLOEngine(objs)
+	e.Bind("latency", func(threshold, span time.Duration) (float64, float64) { return 95, 100 })
+	ann := NewAnnotations()
+	ann.Add("compaction", "model=PB-PPM nodes=42")
+	e.SetAnnotations(ann)
+
+	rec := httptest.NewRecorder()
+	e.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slo", nil))
+	var rep SLOReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("decoding /debug/slo: %v\n%s", err, rec.Body.String())
+	}
+	if len(rep.Objectives) != 1 || rep.Objectives[0].State != SLOStateOK {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.Objectives[0].Windows) != 2 {
+		t.Fatalf("windows = %d, want 2 (short and long)", len(rep.Objectives[0].Windows))
+	}
+	if len(rep.Annotations) != 1 || rep.Annotations[0].Kind != "compaction" {
+		t.Fatalf("annotations = %+v", rep.Annotations)
+	}
+
+	reg := NewRegistry()
+	e.Register(reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if err := ValidateExposition(text); err != nil {
+		t.Fatalf("slo exposition invalid: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		`pbppm_slo_compliance{objective="lat",window="5m0s"} 0.95`,
+		`pbppm_slo_burn_rate{objective="lat",window="1h0m0s"}`,
+		`pbppm_slo_state{objective="lat"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestAnnotationsRingBounded(t *testing.T) {
+	a := NewAnnotations()
+	for i := 0; i < annotationRingCap*3; i++ {
+		a.Add("delta_merge", "")
+	}
+	if got := len(a.Recent()); got != annotationRingCap {
+		t.Fatalf("ring holds %d, want cap %d", got, annotationRingCap)
+	}
+	// Nil ring: no-ops.
+	var nilRing *Annotations
+	nilRing.Add("x", "y")
+	if nilRing.Recent() != nil {
+		t.Fatal("nil ring returned annotations")
+	}
+}

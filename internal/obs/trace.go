@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"net/http"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -40,9 +41,15 @@ func (s Stage) String() string {
 	}
 }
 
-// traceRingSize bounds the recent-trace ring; 64 traces comfortably
-// covers a debugging session while costing a few kilobytes.
-const traceRingSize = 64
+// TraceRingCap is the explicit bound on the recent-trace ring: the
+// tracer retains at most this many sampled records, oldest evicted
+// first, so sustained tracing under load holds memory constant and
+// /debug/traces output is bounded. 64 traces comfortably covers a
+// debugging session while costing a few kilobytes.
+const TraceRingCap = 64
+
+// traceRingSize is the internal alias the ring arithmetic uses.
+const traceRingSize = TraceRingCap
 
 // TraceRecord is one sampled predict-path execution.
 type TraceRecord struct {
@@ -126,6 +133,22 @@ func (t *Tracer) Recent() []TraceRecord {
 		out = append(out, t.recent[(t.next-1-i+2*traceRingSize)%traceRingSize])
 	}
 	return out
+}
+
+// Sampled reports how many predict-path executions the tracer has
+// recorded (the exact 1-in-N subset of Start calls).
+func (t *Tracer) Sampled() int64 { return t.sampled.Value() }
+
+// TracesHandler serves the recent-trace ring as plain text, newest
+// first — the /debug/traces endpoint. Output is bounded by
+// TraceRingCap lines regardless of load.
+func (t *Tracer) TracesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, rec := range t.Recent() {
+			fmt.Fprintln(w, rec)
+		}
+	})
 }
 
 // Span accumulates one sampled predict-path execution. The zero Span

@@ -1,6 +1,9 @@
 package obs
 
 import (
+	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -64,6 +67,54 @@ func TestTracerRingNewestFirstAndBounded(t *testing.T) {
 	got := tr.Recent()
 	if len(got) != traceRingSize {
 		t.Fatalf("ring holds %d, want %d", len(got), traceRingSize)
+	}
+}
+
+// TestTracerBoundedUnderSustainedLoad is the regression test for the
+// tracer's explicit bounds: sustained concurrent tracing must neither
+// grow the ring beyond TraceRingCap nor break the exact 1-in-N
+// sampled-rate contract, and the /debug/traces handler output stays
+// bounded with it.
+func TestTracerBoundedUnderSustainedLoad(t *testing.T) {
+	const (
+		every      = 8
+		goroutines = 4
+		perG       = 4000
+	)
+	tr := NewTracer(NewRegistry(), every)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				span := tr.Start()
+				if span.Active() {
+					span.Mark(StagePredict)
+					span.Finish("c", "/load")
+				}
+				if i%512 == 0 {
+					_ = tr.Recent() // concurrent readers must not unbound the ring
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := int64(goroutines * perG)
+	if got := tr.Sampled(); got != total/every {
+		t.Errorf("sampled %d of %d calls, want exactly %d (1 in %d)",
+			got, total, total/every, every)
+	}
+	if got := len(tr.Recent()); got != TraceRingCap {
+		t.Errorf("ring holds %d after sustained load, want exactly the %d cap", got, TraceRingCap)
+	}
+
+	rec := httptest.NewRecorder()
+	tr.TracesHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	lines := strings.Count(rec.Body.String(), "\n")
+	if lines != TraceRingCap {
+		t.Errorf("/debug/traces rendered %d lines, want %d", lines, TraceRingCap)
 	}
 }
 

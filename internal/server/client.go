@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"pbppm/internal/cache"
+	"pbppm/internal/quality"
 )
 
 // ClientStats is a snapshot of client-side counters.
@@ -30,14 +31,18 @@ func (s ClientStats) HitRatio() float64 {
 // its identity with every request, and fetches the server's prefetch
 // hints into the cache in the background.
 type Client struct {
-	id      string
-	base    string
-	http    *http.Client
-	maxSize int64
+	id       string
+	base     string
+	http     *http.Client
+	maxSize  int64
+	syncPref bool
 
 	mu    sync.Mutex
 	cache cache.Policy
 	stats ClientStats
+	// pending batches local hit outcomes for the server's live scorer;
+	// the batch rides on the next request (or an explicit Flush).
+	pending []ReportEntry
 	// wg tracks in-flight background prefetches so tests and shutdown
 	// can drain them.
 	wg sync.WaitGroup
@@ -60,6 +65,11 @@ type ClientConfig struct {
 	// Policy selects the cache replacement policy; nil selects a 1 MB
 	// LRU (or CacheBytes if set).
 	Policy cache.Policy
+	// SynchronousPrefetch fetches hints inline, in hint order, before
+	// Get returns, instead of in background goroutines. Deterministic
+	// replays (the live-vs-offline equivalence test) need it; serving
+	// real users does not.
+	SynchronousPrefetch bool
 }
 
 // NewClient builds a prefetching client. It returns an error on a
@@ -88,11 +98,12 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		hc = http.DefaultClient
 	}
 	return &Client{
-		id:      cfg.ID,
-		base:    cfg.BaseURL,
-		http:    hc,
-		maxSize: maxSize,
-		cache:   pol,
+		id:       cfg.ID,
+		base:     cfg.BaseURL,
+		http:     hc,
+		maxSize:  maxSize,
+		syncPref: cfg.SynchronousPrefetch,
+		cache:    pol,
 	}, nil
 }
 
@@ -107,10 +118,12 @@ func (c *Client) Get(url string) (source string, err error) {
 		if prefetched {
 			c.stats.PrefetchHits++
 			c.cache.MarkDemand(url)
+			c.pending = append(c.pending, ReportEntry{URL: url, Outcome: quality.PrefetchHit})
 			c.mu.Unlock()
 			return "prefetch", nil
 		}
 		c.stats.CacheHits++
+		c.pending = append(c.pending, ReportEntry{URL: url, Outcome: quality.CacheHit})
 		c.mu.Unlock()
 		return "cache", nil
 	}
@@ -124,6 +137,12 @@ func (c *Client) Get(url string) (source string, err error) {
 	c.cache.Put(url, int64(len(body)), false)
 	c.mu.Unlock()
 
+	if c.syncPref {
+		for _, h := range hints {
+			c.prefetch(h.URL)
+		}
+		return "network", nil
+	}
 	for _, h := range hints {
 		h := h
 		c.wg.Add(1)
@@ -172,8 +191,13 @@ func (c *Client) fetch(url string, isPrefetch bool) (body []byte, hints []hint, 
 	if isPrefetch {
 		req.Header.Set(HeaderPrefetchFetch, "1")
 	}
+	reports := c.takeReports()
+	if len(reports) > 0 {
+		req.Header.Set(HeaderPrefetchReport, FormatReport(reports))
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
+		c.requeueReports(reports)
 		return nil, nil, fmt.Errorf("server: fetching %s: %w", url, err)
 	}
 	defer resp.Body.Close()
@@ -195,6 +219,52 @@ func (c *Client) fetch(url string, isPrefetch bool) (body []byte, hints []hint, 
 type hint struct {
 	URL         string
 	Probability float64
+}
+
+// takeReports detaches the pending report batch.
+func (c *Client) takeReports() []ReportEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	reports := c.pending
+	c.pending = nil
+	return reports
+}
+
+// requeueReports puts an undelivered batch back at the head of the
+// queue (transport failure: the server never saw it).
+func (c *Client) requeueReports(reports []ReportEntry) {
+	if len(reports) == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.pending = append(reports, c.pending...)
+	c.mu.Unlock()
+}
+
+// Flush delivers any pending hit reports on a report-only beacon (the
+// server answers 204 without touching demand statistics). A client
+// with nothing pending does not contact the server.
+func (c *Client) Flush() error {
+	reports := c.takeReports()
+	if len(reports) == 0 {
+		return nil
+	}
+	req, err := http.NewRequest(http.MethodGet, c.base+"/", nil)
+	if err != nil {
+		c.requeueReports(reports)
+		return fmt.Errorf("server: building report beacon: %w", err)
+	}
+	req.Header.Set(HeaderClientID, c.id)
+	req.Header.Set(HeaderPrefetchReport, FormatReport(reports))
+	req.Header.Set(HeaderPrefetchReportOnly, "1")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		c.requeueReports(reports)
+		return fmt.Errorf("server: sending report beacon: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // 204 carries no body
+	resp.Body.Close()
+	return nil
 }
 
 // Wait drains in-flight background prefetches; tests call it before

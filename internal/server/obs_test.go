@@ -92,20 +92,28 @@ func TestHintHitCounters(t *testing.T) {
 
 func TestHintMemoryBounded(t *testing.T) {
 	ctx := &clientContext{}
-	var urls []string
+	var recs []hintRecord
 	for i := 0; i < 3*hintMemory; i++ {
-		urls = append(urls, strings.Repeat("x", 1)+string(rune('a'+i%26))+string(rune('0'+i/26)))
+		url := strings.Repeat("x", 1) + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		recs = append(recs, hintRecord{url: url, fetched: i%2 == 0})
 	}
-	ctx.recordHinted(urls)
+	dropped := ctx.recordHinted(recs, hintMemory)
 	if len(ctx.hinted) > hintMemory {
 		t.Errorf("hinted grew to %d, cap is %d", len(ctx.hinted), hintMemory)
 	}
+	if len(dropped) != len(recs)-hintMemory {
+		t.Errorf("dropped %d records, want %d", len(dropped), len(recs)-hintMemory)
+	}
 	// The newest hints survive.
-	if ctx.hintedIndex(urls[len(urls)-1]) < 0 {
+	if ctx.hintedIndex(recs[len(recs)-1].url) < 0 {
 		t.Error("newest hint was evicted")
 	}
-	if ctx.hintedIndex(urls[0]) >= 0 {
+	if ctx.hintedIndex(recs[0].url) >= 0 {
 		t.Error("oldest hint survived past the cap")
+	}
+	// Dropped records keep their state so Wasted events can fire.
+	if !dropped[0].fetched {
+		t.Error("dropped record lost its fetched state")
 	}
 }
 

@@ -34,6 +34,7 @@ import (
 	"pbppm/internal/markov"
 	"pbppm/internal/obs"
 	"pbppm/internal/popularity"
+	"pbppm/internal/quality"
 	"pbppm/internal/session"
 )
 
@@ -108,6 +109,19 @@ type Config struct {
 	// tracing entirely; a tracer with sampling off costs one atomic
 	// load per demand request.
 	Tracer *obs.Tracer
+	// LiveWindow is the rolling span behind the pbppm_live_* gauges
+	// (precision, hit ratio, traffic increase, latency quantiles); zero
+	// selects 5 minutes. The backing rings always cover at least an
+	// hour so SLO burn rates have a long window to read.
+	LiveWindow time.Duration
+	// OnHintEvent, if set, receives every hint-lifecycle transition
+	// (issued → fetched → hit | wasted). It is called without any
+	// server lock held and must be cheap; events are counted in
+	// pbppm_hint_events_total regardless.
+	OnHintEvent func(HintEvent)
+	// Grades grades hint-event URLs by popularity; nil grades
+	// everything 0 until SetGrader publishes a ranking.
+	Grades popularity.Grader
 }
 
 func (c Config) maxHints() int {
@@ -136,6 +150,13 @@ func (c Config) now() time.Time {
 		return c.Clock()
 	}
 	return time.Now()
+}
+
+func (c Config) liveWindow() time.Duration {
+	if c.LiveWindow <= 0 {
+		return 5 * time.Minute
+	}
+	return c.LiveWindow
 }
 
 // Stats is a snapshot of server counters.
@@ -260,46 +281,76 @@ type Server struct {
 
 	metrics *serverMetrics
 	tracer  *obs.Tracer
+	live    *liveScore
 }
 
 // hintMemory caps how many outstanding hinted URLs are remembered per
 // client context for the hint-hit counters; oldest hints are dropped
 // first. 32 covers many responses' worth of hints at the default of 4
-// per response.
+// per response; servers configured with larger hint lists get twice
+// one response's worth (see Server.hintCap).
 const hintMemory = 32
+
+// hintCap bounds a context's outstanding hint records.
+func (s *Server) hintCap() int {
+	if c := 2 * s.cfg.maxHints(); c > hintMemory {
+		return c
+	}
+	return hintMemory
+}
+
+// hintRecord is one outstanding hint issued to a client: enough state
+// to emit lifecycle events and score a later hit against the model
+// that made the prediction.
+type hintRecord struct {
+	url     string
+	prob    float64
+	model   string
+	issued  time.Time
+	fetched bool
+}
 
 // clientContext is one client's open access session, guarded by its
 // shard's lock.
 type clientContext struct {
 	urls []string
 	last time.Time
-	// hinted holds recently issued, not-yet-confirmed hint URLs for
-	// this client, consumed by the hint-hit counter when a demand
-	// request for one arrives.
-	hinted []string
+	// hinted holds recently issued, not-yet-confirmed hint records for
+	// this client, consumed when a demand request or client report for
+	// one arrives.
+	hinted []hintRecord
 }
 
 // hintedIndex returns the position of url in ctx.hinted, or -1.
 func (ctx *clientContext) hintedIndex(url string) int {
-	for i, h := range ctx.hinted {
-		if h == url {
+	for i := range ctx.hinted {
+		if ctx.hinted[i].url == url {
 			return i
 		}
 	}
 	return -1
 }
 
-// recordHinted remembers issued hint URLs, bounded by hintMemory.
-func (ctx *clientContext) recordHinted(urls []string) {
-	for _, u := range urls {
-		if ctx.hintedIndex(u) >= 0 {
+// recordHinted remembers issued hints, bounded by cap; re-hinted URLs
+// refresh in place (keeping their fetched state). It returns the
+// records dropped over the cap so the caller can emit Wasted events
+// for any that were already fetched.
+func (ctx *clientContext) recordHinted(recs []hintRecord, cap int) []hintRecord {
+	for _, r := range recs {
+		if i := ctx.hintedIndex(r.url); i >= 0 {
+			ctx.hinted[i].prob = r.prob
+			ctx.hinted[i].model = r.model
+			ctx.hinted[i].issued = r.issued
 			continue
 		}
-		ctx.hinted = append(ctx.hinted, u)
+		ctx.hinted = append(ctx.hinted, r)
 	}
-	if over := len(ctx.hinted) - hintMemory; over > 0 {
+	var dropped []hintRecord
+	if over := len(ctx.hinted) - cap; over > 0 {
+		dropped = append([]hintRecord(nil), ctx.hinted[:over]...)
 		ctx.hinted = append(ctx.hinted[:0], ctx.hinted[over:]...)
 	}
+	return dropped
 }
 
 // New returns a server over store. It panics on a nil store: a server
@@ -313,6 +364,20 @@ func New(store ContentStore, cfg Config) *Server {
 		cfg:     cfg,
 		metrics: newServerMetrics(cfg.Obs),
 		tracer:  cfg.Tracer,
+	}
+	// The live-scoring rings cover at least an hour (the SLO engine's
+	// long burn-rate window) at a granularity sized for the live span.
+	ringSpan := cfg.liveWindow()
+	if ringSpan < time.Hour {
+		ringSpan = time.Hour
+	}
+	s.live = newLiveScore(cfg.Obs, obs.Window{
+		Span:        ringSpan,
+		Granularity: cfg.liveWindow() / 30,
+		Clock:       cfg.Clock,
+	}, cfg.liveWindow(), cfg.OnHintEvent)
+	if cfg.Grades != nil {
+		s.live.setGrader(cfg.Grades)
 	}
 	for i := range s.ranks {
 		s.ranks[i].rank = popularity.NewRanking()
@@ -337,6 +402,7 @@ func (s *Server) SetPredictor(p markov.Predictor) {
 		ur.SetUsageRecording(false)
 	}
 	s.pred.Store(&predictorCell{p: p})
+	s.live.setModel(p.Name())
 }
 
 // predictor loads the current model snapshot, or nil.
@@ -424,6 +490,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
+	client := clientOf(r)
+	// Client hit reports ride along on any request (and on report-only
+	// beacons); ingest them before demand accounting so a batch
+	// attached to a navigation scores in client-event order.
+	if rep := r.Header.Get(HeaderPrefetchReport); rep != "" {
+		s.ingestReports(client, ParseReport(rep))
+	}
+	if r.Header.Get(HeaderPrefetchReportOnly) != "" {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
 	url := r.URL.Path
 	doc, ok := s.store.Lookup(url)
 	if !ok {
@@ -437,11 +514,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if isPrefetch {
 		s.metrics.prefetchRequests.Inc()
 		s.metrics.prefetchBytes.Add(int64(len(doc.Body)))
-		s.observePrefetchFetch(clientOf(r), url)
+		s.observePrefetchFetch(client, url, int64(len(doc.Body)))
 	} else {
 		s.metrics.demandRequests.Inc()
 		s.metrics.demandBytes.Add(int64(len(doc.Body)))
-		hints = s.observeDemand(clientOf(r), url)
+		hints = s.observeDemand(client, url, int64(len(doc.Body)))
 	}
 
 	if len(hints) > 0 {
@@ -453,10 +530,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", ct)
 	w.Header().Set("Content-Length", strconv.Itoa(len(doc.Body)))
+	elapsed := time.Since(start)
 	if isPrefetch {
-		s.metrics.prefetchLatency.Observe(time.Since(start))
+		s.metrics.prefetchLatency.Observe(elapsed)
 	} else {
-		s.metrics.demandLatency.Observe(time.Since(start))
+		s.metrics.demandLatency.Observe(elapsed)
+		s.live.observeLatency(elapsed)
 	}
 	if r.Method == http.MethodHead {
 		return
@@ -465,18 +544,70 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // observePrefetchFetch credits a hint-driven prefetch against the
-// client's outstanding hints. It only reads the client's context; a
-// prefetch does not open sessions or extend the idle clock.
-func (s *Server) observePrefetchFetch(client, url string) {
+// client's outstanding hints and scores the transfer as prefetch
+// traffic. A prefetch does not open sessions or extend the idle clock.
+func (s *Server) observePrefetchFetch(client, url string, size int64) {
+	now := s.cfg.now()
 	sh := s.shard(client)
 	sh.mu.Lock()
 	ctx := sh.contexts[client]
-	// The hint stays outstanding: a later demand click for it is the
-	// prediction coming true, which hintHits counts separately.
-	hit := ctx != nil && ctx.hintedIndex(url) >= 0
+	var rec hintRecord
+	found, first := false, false
+	if ctx != nil {
+		// The hint stays outstanding: a later demand click or client
+		// report for it is the prediction coming true.
+		if i := ctx.hintedIndex(url); i >= 0 {
+			if !ctx.hinted[i].fetched {
+				ctx.hinted[i].fetched = true
+				first = true
+			}
+			rec = ctx.hinted[i]
+			found = true
+		}
+	}
 	sh.mu.Unlock()
-	if hit {
+	if found {
 		s.metrics.hintFetches.Inc()
+	}
+	if first {
+		s.live.fetchedHint(client, rec, now)
+	}
+	// Every hint-driven transfer counts as prefetch traffic, scored
+	// against the model that issued the hint when we know it.
+	s.live.prefetched(rec.model, size)
+}
+
+// ingestReports scores a client's batched local hit outcomes (see
+// HeaderPrefetchReport): a prefetch-hit report closes the matching
+// hint record and scores a PrefetchHit against the issuing model; a
+// cache-hit report scores an ordinary CacheHit. Sizes come from the
+// content store, mirroring what the client's cached copy held.
+func (s *Server) ingestReports(client string, reports []ReportEntry) {
+	if len(reports) == 0 {
+		return
+	}
+	now := s.cfg.now()
+	sh := s.shard(client)
+	for _, rep := range reports {
+		var size int64
+		if doc, ok := s.store.Lookup(rep.URL); ok {
+			size = int64(len(doc.Body))
+		}
+		switch rep.Outcome {
+		case quality.PrefetchHit:
+			sh.mu.Lock()
+			rec := hintRecord{url: rep.URL, issued: now}
+			if ctx := sh.contexts[client]; ctx != nil {
+				if i := ctx.hintedIndex(rep.URL); i >= 0 {
+					rec = ctx.hinted[i]
+					ctx.hinted = append(ctx.hinted[:i], ctx.hinted[i+1:]...)
+				}
+			}
+			sh.mu.Unlock()
+			s.live.hit(client, rec, size, true, now)
+		case quality.CacheHit:
+			s.live.demand(size, quality.CacheHit)
+		}
 	}
 }
 
@@ -491,13 +622,17 @@ var predBufPool = sync.Pool{
 }
 
 // observeDemand updates the client's session context, popularity, and
-// statistics, and computes the prefetch hints for this response. Only
-// the client's context shard (and briefly the ranking mutex) is locked;
-// prediction and store lookups run lock-free on a context snapshot.
-func (s *Server) observeDemand(client, url string) []markov.Prediction {
+// statistics, scores the request against the live quality model, and
+// computes the prefetch hints for this response. Only the client's
+// context shard (and briefly the ranking mutex) is locked; prediction
+// and store lookups run lock-free on a context snapshot.
+func (s *Server) observeDemand(client, url string, size int64) []markov.Prediction {
 	span := s.tracer.Start()
 	now := s.cfg.now()
 	s.observeRank(url)
+	// Every demand request that reaches the server is a miss in the
+	// client's caches; hits are scored from client reports instead.
+	s.live.demand(size, quality.Miss)
 
 	sh := s.shard(client)
 	sh.mu.Lock()
@@ -514,7 +649,9 @@ func (s *Server) observeDemand(client, url string) []markov.Prediction {
 	// A demand click on a previously hinted URL confirms the prediction;
 	// consume the hint so one issuance counts at most one hit.
 	hintHit := false
+	var hitRec hintRecord
 	if i := ctx.hintedIndex(url); i >= 0 {
+		hitRec = ctx.hinted[i]
 		ctx.hinted = append(ctx.hinted[:i], ctx.hinted[i+1:]...)
 		hintHit = true
 	}
@@ -537,9 +674,16 @@ func (s *Server) observeDemand(client, url string) []markov.Prediction {
 
 	if hintHit {
 		s.metrics.hintHits.Inc()
+		// The prediction came true, but the request reached the server,
+		// so the prefetched copy (if any) did not serve it: a lifecycle
+		// hit without the byte savings — already scored as a Miss above.
+		s.live.hit(client, hitRec, size, false, now)
 	}
-	if ended != nil && s.cfg.OnSessionEnd != nil {
-		s.cfg.OnSessionEnd(client, ended.urls, ended.last)
+	if ended != nil {
+		s.wasteHints(client, ended.hinted, now)
+		if s.cfg.OnSessionEnd != nil {
+			s.cfg.OnSessionEnd(client, ended.urls, ended.last)
+		}
 	}
 	span.Mark(obs.StageContext)
 
@@ -574,23 +718,38 @@ func (s *Server) observeDemand(client, url string) []markov.Prediction {
 	predBufPool.Put(bufp)
 	s.metrics.hintsIssued.Add(int64(len(out)))
 	if len(out) > 0 {
+		model := pred.Name()
+		recs := make([]hintRecord, len(out))
+		for i, p := range out {
+			recs[i] = hintRecord{url: p.URL, prob: p.Probability, model: model, issued: now}
+		}
 		// Remember what was hinted so later requests can close the
 		// precision loop. Re-locking is required — prediction above ran
 		// without the shard lock — and the context is re-fetched because
 		// an expiry may have removed it meanwhile.
+		var dropped []hintRecord
 		sh.mu.Lock()
 		if ctx := sh.contexts[client]; ctx != nil {
-			urls := make([]string, len(out))
-			for i, p := range out {
-				urls[i] = p.URL
-			}
-			ctx.recordHinted(urls)
+			dropped = ctx.recordHinted(recs, s.hintCap())
 		}
 		sh.mu.Unlock()
+		s.live.issued(client, model, recs)
+		s.wasteHints(client, dropped, now)
 	}
 	span.Mark(obs.StageHints)
 	span.Finish(client, url)
 	return out
+}
+
+// wasteHints emits Wasted lifecycle events for hint records leaving a
+// context (session end or cap eviction) that were fetched but never
+// hit — prefetched transfers that bought nothing.
+func (s *Server) wasteHints(client string, recs []hintRecord, now time.Time) {
+	for _, rec := range recs {
+		if rec.fetched {
+			s.live.wasted(client, rec, now)
+		}
+	}
 }
 
 // contextURLs returns a copy of the client's open session context, or
@@ -629,8 +788,9 @@ func (s *Server) ExpireSessions() int {
 		sh.mu.Unlock()
 	}
 	s.metrics.sessionsExpired.Add(int64(len(ended)))
-	if s.cfg.OnSessionEnd != nil {
-		for _, e := range ended {
+	for _, e := range ended {
+		s.wasteHints(e.client, e.ctx.hinted, now)
+		if s.cfg.OnSessionEnd != nil {
 			s.cfg.OnSessionEnd(e.client, e.ctx.urls, e.ctx.last)
 		}
 	}

@@ -25,6 +25,7 @@ import (
 	"pbppm/internal/markov"
 	"pbppm/internal/metrics"
 	"pbppm/internal/popularity"
+	"pbppm/internal/quality"
 	"pbppm/internal/session"
 )
 
@@ -290,16 +291,22 @@ func Run(test []session.Session, opt Options) metrics.Result {
 	// contexts tracks each in-flight session's clicked URLs so far.
 	contexts := make(map[int][]string, len(test))
 
+	// All §2.3 quality accounting flows through a quality.Scorer — the
+	// same implementation the live server scores its hint lifecycle
+	// with — so offline and online metrics cannot drift apart.
+	score := quality.NewScorer()
+
 	replayStart := time.Now()
 	every := opt.progressEvery()
 	report := func(done int64) {
 		elapsed := time.Since(replayStart)
+		part := score.Total()
 		p := Progress{
 			Phase:        PhaseSimulate,
 			Events:       done,
 			TotalEvents:  int64(len(events)),
-			HitRatio:     res.HitRatio(),
-			PrefetchHits: res.PrefetchHits,
+			HitRatio:     part.HitRatio(),
+			PrefetchHits: part.PrefetchHits,
 			Elapsed:      elapsed,
 		}
 		if secs := elapsed.Seconds(); secs > 0 {
@@ -317,7 +324,7 @@ func Run(test []session.Session, opt Options) metrics.Result {
 	for evIdx, ev := range events {
 		v := test[ev.session].Views[ev.view]
 		size := v.TotalBytes()
-		res.Requests++
+		outcome := quality.Miss
 
 		browser := browserFor(ev.client)
 		served := false
@@ -326,14 +333,13 @@ func Run(test []session.Session, opt Options) metrics.Result {
 			served = true
 			res.BrowserHits++
 			if prefetched {
-				res.PrefetchHits++
-				res.UsefulBytes += size // the prefetched transfer was used
+				outcome = quality.PrefetchHit
 				if opt.Grades != nil && opt.Grades.GradeOf(v.URL) >= opt.popularMin() {
 					res.PrefetchHitsPopular++
 				}
 				browser.MarkDemand(v.URL)
 			} else {
-				res.CacheHits++
+				outcome = quality.CacheHit
 			}
 			// Local hit: negligible latency.
 			res.Latencies.Observe(0)
@@ -343,15 +349,14 @@ func Run(test []session.Session, opt Options) metrics.Result {
 			if ok, prefetched := proxy.Get(v.URL); ok {
 				served = true
 				if prefetched {
-					res.PrefetchHits++
+					outcome = quality.PrefetchHit
 					res.ProxyPrefetchHits++
-					res.UsefulBytes += size
 					if opt.Grades != nil && opt.Grades.GradeOf(v.URL) >= opt.popularMin() {
 						res.PrefetchHitsPopular++
 					}
 					proxy.MarkDemand(v.URL)
 				} else {
-					res.CacheHits++
+					outcome = quality.CacheHit
 					res.ProxyCacheHits++
 				}
 				hitLat := path.ProxyHit(size)
@@ -372,10 +377,9 @@ func Run(test []session.Session, opt Options) metrics.Result {
 			}
 			res.TotalLatency += missLat
 			res.Latencies.Observe(missLat)
-			res.TransferredBytes += size
-			res.UsefulBytes += size
 			browser.Put(v.URL, size, false)
 		}
+		score.Demand(size, outcome)
 
 		// The server's view of the session: requests that reached it.
 		// Cache hits stay invisible unless PredictOnHitToo is set.
@@ -412,9 +416,7 @@ func Run(test []session.Session, opt Options) metrics.Result {
 					}
 					browser.Put(p.URL, psize, true)
 				}
-				res.TransferredBytes += psize
-				res.PrefetchedBytes += psize
-				res.PrefetchedDocs++
+				score.Prefetched(psize)
 			}
 		}
 		if opt.OnProgress != nil && (evIdx+1)%every == 0 {
@@ -426,6 +428,17 @@ func Run(test []session.Session, opt Options) metrics.Result {
 	}
 	opt.Phases.Observe(PhaseSimulate, time.Since(replayStart))
 	opt.Phases.AddEvents(int64(len(events)))
+
+	// Fold the scorer's totals into the result; the integer accounting
+	// is identical to the pre-scorer implementation by construction.
+	total := score.Total()
+	res.Requests = total.Requests
+	res.CacheHits = total.CacheHits
+	res.PrefetchHits = total.PrefetchHits
+	res.PrefetchedDocs = total.PrefetchedDocs
+	res.TransferredBytes = total.TransferredBytes
+	res.UsefulBytes = total.UsefulBytes
+	res.PrefetchedBytes = total.PrefetchedBytes
 
 	res.Nodes = 0
 	if opt.Predictor != nil {
