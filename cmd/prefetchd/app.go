@@ -34,8 +34,17 @@ type appConfig struct {
 	sloFile     string
 	liveWindow  time.Duration
 
-	// warmDays sizes the generated warm-start history; tests shrink it.
+	// warmDays sizes the generated warm-start history; tests and load
+	// benchmarks shrink it for fast boots.
 	warmDays int
+	// pages / sessionsPerDay override the profile's site size and
+	// traffic density when positive, so a capacity run can boot a small
+	// server in seconds. A load generator hitting this server must use
+	// the same overrides or its walkers will 404.
+	pages          int
+	sessionsPerDay int
+	// maxHints overrides the per-response hint cap when positive.
+	maxHints int
 }
 
 // defaultSLO is the out-of-the-box objective set: demand latency plus
@@ -100,6 +109,12 @@ func newApp(cfg appConfig, logger *slog.Logger) (*app, error) {
 		p = tracegen.UCBCS()
 	default:
 		return nil, fmt.Errorf("unknown profile %q", cfg.profileName)
+	}
+	if cfg.pages > 0 {
+		p.Pages = cfg.pages
+	}
+	if cfg.sessionsPerDay > 0 {
+		p.SessionsPerDay = cfg.sessionsPerDay
 	}
 	a.profile = p
 
@@ -184,6 +199,7 @@ func newApp(cfg appConfig, logger *slog.Logger) (*app, error) {
 		Obs:        a.reg,
 		Tracer:     a.tracer,
 		LiveWindow: cfg.liveWindow,
+		MaxHints:   cfg.maxHints,
 		Grades:     a.maint.Ranking(),
 		// Completed live sessions flow into the maintenance window so
 		// rebuilds track real traffic.

@@ -14,7 +14,13 @@
 //	          [-delta-interval 1m] [-compact-interval 30m]
 //	          [-rebuild 10m] [-trace-sample N] [-log-level info]
 //	          [-slo "name=...,kind=...,target=..."] [-slo-file path]
-//	          [-live-window 5m]
+//	          [-live-window 5m] [-warm-days 3]
+//	          [-pages N] [-sessions-per-day N] [-max-hints N]
+//
+// -pages, -sessions-per-day, and -warm-days shrink the synthetic site
+// and warm history for fast boots under load benchmarks (cmd/loadbench
+// must be given the same -pages so its walkers navigate the same
+// site).
 //
 // The admin listener serves /metrics (Prometheus text exposition),
 // /healthz, /debug/pprof, /debug/stats, /debug/traces, and /debug/slo
@@ -59,6 +65,10 @@ func main() {
 	flag.StringVar(&cfg.slo, "slo", defaultSLO, "service objectives: ';'-separated key=value lists (kind=latency|precision|hit_ratio)")
 	flag.StringVar(&cfg.sloFile, "slo-file", "", "file of objectives, one per line, same grammar as -slo; overrides -slo")
 	flag.DurationVar(&cfg.liveWindow, "live-window", 5*time.Minute, "rolling window for the live paper-metric gauges")
+	flag.IntVar(&cfg.warmDays, "warm-days", 3, "days of generated history the warm-start model trains on")
+	flag.IntVar(&cfg.pages, "pages", 0, "override the profile's page count (load generators must match)")
+	flag.IntVar(&cfg.sessionsPerDay, "sessions-per-day", 0, "override the profile's mean sessions per day of warm history")
+	flag.IntVar(&cfg.maxHints, "max-hints", 0, "override the per-response X-Prefetch hint cap (0 = server default)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
 	flag.Parse()
 

@@ -29,7 +29,7 @@ func realMain() int {
 		days        = flag.Int("days", 0, "override number of days (0 = profile default)")
 		sessions    = flag.Int("sessions", 0, "override sessions per day (0 = profile default)")
 		pages       = flag.Int("pages", 0, "override site page count (0 = profile default)")
-		seed        = flag.Int64("seed", 0, "override random seed (0 = profile default)")
+		seed        = flag.Int64("seed", 0, "override random seed (0 = profile default: nasa 19950701, ucbcs 20000701)")
 		out         = flag.String("o", "", "output file (default: stdout)")
 		split       = flag.Bool("split", false, "write one file per day: <o>.day<N> (requires -o)")
 		anonSalt    = flag.String("anonymize", "", "replace client identifiers with salted pseudonyms")

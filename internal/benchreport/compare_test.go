@@ -89,6 +89,15 @@ func TestCompareDirections(t *testing.T) {
 		{"predict_allocs_per_op", 0, 2, ClassRegressed},
 		{"predict_allocs_per_op", 3, 0, ClassImproved},
 		{"predict_ns_per_op", 400, 900, ClassRegressed},
+		// Capacity metrics: sustaining more RPS under the SLO gate is the
+		// good direction, despite other *_seconds-style cost suffixes.
+		{"max_sustainable_rps", 500, 300, ClassRegressed},
+		{"max_sustainable_rps", 500, 700, ClassImproved},
+		{"achieved_rps", 480, 520, ClassImproved},
+		// Load-test quality metrics invert: errors and latency rise = bad.
+		{"error_rate", 0.01, 0.05, ClassRegressed},
+		{"error_rate", 0.05, 0.01, ClassImproved},
+		{"lag_p99_seconds", 0.002, 0.2, ClassRegressed},
 	}
 	for _, c := range cases {
 		base, cur := twoRunReports()

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"pbppm/internal/core"
+	"pbppm/internal/loadgen"
+	"pbppm/internal/metrics"
+	"pbppm/internal/server"
+	"pbppm/internal/sim"
+	"pbppm/internal/tracegen"
+)
+
+// Capacity is the serving-capacity artifact: a real hint-serving
+// server booted from the workload's trained model and driven by an
+// open-loop RPS sweep, reporting latency under load per step. The
+// trace-replay experiments answer "how good are the hints"; this one
+// answers "how fast can the server that computes them go".
+type Capacity struct {
+	Workload string
+	Result   *loadgen.Result
+}
+
+// CapacityConfig sizes the sweep; the zero value selects a quick
+// three-step staircase sized for a laptop-class machine.
+type CapacityConfig struct {
+	Start, Step, Target float64
+	SlotDur             time.Duration
+}
+
+func (c CapacityConfig) withDefaults() CapacityConfig {
+	if c.Start <= 0 {
+		c.Start = 20
+	}
+	if c.Step <= 0 {
+		c.Step = 20
+	}
+	if c.Target < c.Start {
+		c.Target = 3 * c.Start
+	}
+	if c.SlotDur <= 0 {
+		c.SlotDur = 2 * time.Second
+	}
+	return c
+}
+
+// RunCapacity trains PB-PPM on the workload's sessions, serves the
+// workload's site from a real server.Server on a loopback socket, and
+// sweeps an open-loop load generator through cfg's rate staircase.
+// Needs a Workload built by FromProfile: the site graph is rebuilt
+// from w.Profile so the generator's walkers navigate exactly the pages
+// the server stores.
+func RunCapacity(w *Workload, cfg CapacityConfig) (*Capacity, error) {
+	if w.Profile.Pages == 0 {
+		return nil, fmt.Errorf("experiments: capacity needs a profile-backed workload (FromProfile), %q has none", w.Name)
+	}
+	cfg = cfg.withDefaults()
+
+	site, err := tracegen.BuildSite(w.Profile)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: capacity: %w", err)
+	}
+
+	rank := Ranking(w.Sessions)
+	model := core.New(rank, core.Config{
+		RelProbCutoff:  0.01,
+		DropSingletons: w.DropSingletons,
+	})
+	sim.Train(model, w.Sessions)
+
+	srv := server.New(loadgen.StoreFromSite(site), server.Config{
+		Predictor: model,
+		Grades:    rank,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("experiments: capacity: %w", err)
+	}
+	web := &http.Server{Handler: srv}
+	done := make(chan struct{})
+	go func() { web.Serve(ln); close(done) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		web.Shutdown(ctx)
+		<-done
+	}()
+
+	gen, err := loadgen.New(loadgen.Config{
+		ServerURL: "http://" + ln.Addr().String(),
+		Site:      site,
+		Profile:   w.Profile,
+		Clients:   50,
+		Seed:      1,
+		Timeout:   2 * time.Second,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: capacity: %w", err)
+	}
+	res, err := gen.Run(context.Background(), loadgen.Sweep(cfg.Start, cfg.Step, cfg.Target, cfg.SlotDur))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: capacity: %w", err)
+	}
+	return &Capacity{Workload: w.Name, Result: res}, nil
+}
+
+// String renders the per-step staircase.
+func (c *Capacity) String() string {
+	tb := &metrics.Table{
+		Title: fmt.Sprintf("Serving capacity — %s: open-loop RPS sweep against a live hint server", c.Workload),
+		Headers: []string{"step", "target", "achieved", "ok", "err",
+			"cache+pf", "p50", "p99", "lag p99"},
+	}
+	for _, s := range c.Result.Slots {
+		tb.AddRow(s.Slot.Label,
+			fmt.Sprintf("%.4g", s.Slot.RPS),
+			fmt.Sprintf("%.4g", s.AchievedRPS()),
+			strconv.FormatInt(s.Completed, 10),
+			strconv.FormatInt(s.Errors(), 10),
+			strconv.FormatInt(s.CacheHits+s.PrefetchHits, 10),
+			s.Latency.Quantile(0.50).Round(10*time.Microsecond).String(),
+			s.Latency.Quantile(0.99).Round(10*time.Microsecond).String(),
+			s.Lag.Quantile(0.99).Round(10*time.Microsecond).String())
+	}
+	return tb.String()
+}
+
+// WriteCSV emits one row per sweep step.
+func (c *Capacity) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"step", "target_rps", "achieved_rps", "completed",
+		"errors", "cache_prefetch_hits", "p50_seconds", "p99_seconds", "lag_p99_seconds"}}
+	for _, s := range c.Result.Slots {
+		rows = append(rows, []string{
+			s.Slot.Label,
+			f(s.Slot.RPS),
+			f(s.AchievedRPS()),
+			strconv.FormatInt(s.Completed, 10),
+			strconv.FormatInt(s.Errors(), 10),
+			strconv.FormatInt(s.CacheHits+s.PrefetchHits, 10),
+			f(s.Latency.Quantile(0.50).Seconds()),
+			f(s.Latency.Quantile(0.99).Seconds()),
+			f(s.Lag.Quantile(0.99).Seconds()),
+		})
+	}
+	return writeAll(w, rows)
+}
+
+// Headline reports the machine-robust capacity numbers: the achieved
+// rate and error rate across the sweep. Latency quantiles are excluded
+// on purpose, like MaintenanceCost's wall times: they vary with the
+// machine and would flap a regression gate.
+func (c *Capacity) Headline() map[string]float64 {
+	return map[string]float64{
+		"achieved_rps": c.Result.AchievedRPS(),
+		"error_rate":   c.Result.ErrorRate(),
+	}
+}

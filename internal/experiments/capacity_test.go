@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pbppm/internal/tracegen"
+)
+
+// capacityWorkload builds a tiny profile-backed workload so the test
+// boots and sweeps in well under a second per slot.
+func capacityWorkload(t *testing.T) *Workload {
+	t.Helper()
+	p := tracegen.NASA()
+	p.Days = 2
+	p.Pages = 60
+	p.SessionsPerDay = 120
+	p.Browsers = 40
+	p.CrawlerPagesPerDay = 0
+	w, err := FromProfile(p)
+	if err != nil {
+		t.Fatalf("FromProfile: %v", err)
+	}
+	return w
+}
+
+func TestRunCapacity(t *testing.T) {
+	w := capacityWorkload(t)
+	cap, err := RunCapacity(w, CapacityConfig{
+		Start: 30, Step: 30, Target: 60, SlotDur: 400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("RunCapacity: %v", err)
+	}
+	if got := len(cap.Result.Slots); got != 2 {
+		t.Fatalf("slots = %d, want 2", got)
+	}
+	for _, s := range cap.Result.Slots {
+		if s.Dispatched == 0 {
+			t.Errorf("slot %s dispatched nothing", s.Slot.Label)
+		}
+		if s.Completed+s.Errors() != s.Dispatched {
+			t.Errorf("slot %s: completed %d + errors %d != dispatched %d",
+				s.Slot.Label, s.Completed, s.Errors(), s.Dispatched)
+		}
+	}
+	h := cap.Headline()
+	if _, ok := h["achieved_rps"]; !ok {
+		t.Error("headline missing achieved_rps")
+	}
+	if _, ok := h["error_rate"]; !ok {
+		t.Error("headline missing error_rate")
+	}
+	if h["achieved_rps"] <= 0 {
+		t.Errorf("achieved_rps = %v, want > 0 on loopback", h["achieved_rps"])
+	}
+	// Latency quantiles must stay out of the headline: they are
+	// machine-dependent and would flap a cross-machine gate.
+	for k := range h {
+		if strings.Contains(k, "latency") || strings.Contains(k, "p99") {
+			t.Errorf("headline carries machine-dependent metric %q", k)
+		}
+	}
+	if s := cap.String(); !strings.Contains(s, "rps30") {
+		t.Errorf("String() missing sweep step label:\n%s", s)
+	}
+	var buf strings.Builder
+	if err := cap.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if !strings.HasPrefix(buf.String(), "step,target_rps,achieved_rps") {
+		t.Errorf("csv header = %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+}
+
+// TestRunCapacityNeedsProfile pins the FromProfile requirement: a raw
+// trace workload has no site graph to serve.
+func TestRunCapacityNeedsProfile(t *testing.T) {
+	w := capacityWorkload(t)
+	w.Profile = tracegen.Profile{}
+	if _, err := RunCapacity(w, CapacityConfig{}); err == nil {
+		t.Fatal("RunCapacity accepted a workload with no profile")
+	}
+}

@@ -23,6 +23,7 @@ var (
 	_ CSVWriter = (*Baselines)(nil)
 	_ CSVWriter = (*Maintenance)(nil)
 	_ CSVWriter = (*MaintenanceCost)(nil)
+	_ CSVWriter = (*Capacity)(nil)
 )
 
 func writeAll(w io.Writer, rows [][]string) error {

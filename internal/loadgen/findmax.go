@@ -1,0 +1,188 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Gate is the pass/fail criterion FindMax applies to each steady
+// trial: the latency quantile must stay under MaxLatency and the error
+// rate under MaxErrorRate. MaxLag guards the generator itself — when
+// schedule lag at the same quantile exceeds it, the generator could
+// not hold the arrival schedule, so the trial says nothing about the
+// server and the search stops as generator-limited.
+type Gate struct {
+	// Quantile selects which latency/lag quantile the gate reads; zero
+	// selects 0.99.
+	Quantile float64
+	// MaxLatency is the SLO bound on the on-schedule latency quantile;
+	// zero selects 250ms.
+	MaxLatency time.Duration
+	// MaxErrorRate bounds failures over arrivals; zero selects 1%.
+	MaxErrorRate float64
+	// MaxLag bounds the generator's own schedule lag at Quantile; zero
+	// selects 50ms.
+	MaxLag time.Duration
+	// MaxRPS caps the search: doubling stops there, and passing at the
+	// cap reports it as the max with CeilingReached set (the true
+	// capacity is at least that). Zero leaves the search unbounded —
+	// the generator-lag gate is then the only stop.
+	MaxRPS float64
+}
+
+func (g Gate) withDefaults() Gate {
+	if g.Quantile <= 0 {
+		g.Quantile = 0.99
+	}
+	if g.MaxLatency <= 0 {
+		g.MaxLatency = 250 * time.Millisecond
+	}
+	if g.MaxErrorRate <= 0 {
+		g.MaxErrorRate = 0.01
+	}
+	if g.MaxLag <= 0 {
+		g.MaxLag = 50 * time.Millisecond
+	}
+	return g
+}
+
+// Trial is one steady-rate probe of the search.
+type Trial struct {
+	RPS    float64
+	Pass   bool
+	Reason string
+	Result SlotResult
+}
+
+// FindMaxResult is the capacity search outcome.
+type FindMaxResult struct {
+	// MaxSustainableRPS is the highest trialed rate that passed the
+	// gate — the headline capacity metric. Zero when even the starting
+	// rate failed.
+	MaxSustainableRPS float64
+	// GeneratorLimited reports that the search stopped because the
+	// generator missed its own schedule (gate.MaxLag), not because the
+	// server failed: the true capacity is at least MaxSustainableRPS.
+	GeneratorLimited bool
+	// CeilingReached reports that the server passed the gate at
+	// gate.MaxRPS, so the search stopped at the cap rather than at a
+	// failure: the true capacity is at least MaxSustainableRPS.
+	CeilingReached bool
+	Trials         []Trial
+}
+
+// FindMax searches for the highest steady arrival rate the server
+// sustains under gate: exponential doubling from startRPS until a
+// trial fails, then binary search between the last pass and first
+// fail until the bracket is within 10%. Each trial runs one warmup
+// slot and one measured slot of trialDur at the probed rate; only the
+// measured slot is gated, so cold caches and a cold model do not
+// charge the first trial.
+func (g *Generator) FindMax(ctx context.Context, startRPS float64, trialDur time.Duration, gate Gate) (*FindMaxResult, error) {
+	if startRPS <= 0 {
+		return nil, fmt.Errorf("loadgen: find-max needs a positive starting rate, got %v", startRPS)
+	}
+	if trialDur <= 0 {
+		trialDur = 10 * time.Second
+	}
+	gate = gate.withDefaults()
+	res := &FindMaxResult{}
+
+	trial := func(rps float64) (Trial, error) {
+		warm := trialDur / 2
+		if warm > 5*time.Second {
+			warm = 5 * time.Second
+		}
+		sc := Scenario{Name: "find-max", Slots: []Slot{
+			{Label: "warmup", RPS: rps, Duration: warm},
+			{Label: fmt.Sprintf("rps%.4g", rps), RPS: rps, Duration: trialDur},
+		}}
+		run, err := g.Run(ctx, sc)
+		if err != nil {
+			return Trial{RPS: rps}, err
+		}
+		measured := run.Slots[len(run.Slots)-1]
+		t := Trial{RPS: rps, Result: measured}
+		lagQ := measured.Lag.Quantile(gate.Quantile)
+		latQ := measured.Latency.Quantile(gate.Quantile)
+		switch {
+		case lagQ > gate.MaxLag:
+			t.Reason = fmt.Sprintf("generator lag p%g %v > %v", gate.Quantile*100, lagQ, gate.MaxLag)
+		case measured.ErrorRate() > gate.MaxErrorRate:
+			t.Reason = fmt.Sprintf("error rate %.3f > %.3f", measured.ErrorRate(), gate.MaxErrorRate)
+		case measured.Completed == 0:
+			t.Reason = "no completions"
+		case latQ > gate.MaxLatency:
+			t.Reason = fmt.Sprintf("latency p%g %v > %v", gate.Quantile*100, latQ, gate.MaxLatency)
+		default:
+			t.Pass = true
+			t.Reason = fmt.Sprintf("latency p%g %v, errors %.3f", gate.Quantile*100, latQ, measured.ErrorRate())
+		}
+		if g.cfg.Logf != nil {
+			verdict := "FAIL"
+			if t.Pass {
+				verdict = "pass"
+			}
+			g.cfg.Logf("find-max trial %.4g rps: %s (%s)", rps, verdict, t.Reason)
+		}
+		res.Trials = append(res.Trials, t)
+		return t, nil
+	}
+
+	generatorLimited := func(t Trial) bool {
+		return !t.Pass && t.Result.Lag.Quantile(gate.Quantile) > gate.MaxLag
+	}
+
+	// Phase 1: double until a failure (or the cap) brackets capacity.
+	lo, hi := 0.0, 0.0
+	for rps := startRPS; ; rps *= 2 {
+		if gate.MaxRPS > 0 && rps > gate.MaxRPS {
+			rps = gate.MaxRPS
+		}
+		t, err := trial(rps)
+		if err != nil {
+			return res, err
+		}
+		if t.Pass {
+			lo = rps
+			res.MaxSustainableRPS = rps
+			if gate.MaxRPS > 0 && rps >= gate.MaxRPS {
+				res.CeilingReached = true
+				return res, nil
+			}
+			continue
+		}
+		if generatorLimited(t) {
+			res.GeneratorLimited = true
+			return res, nil
+		}
+		hi = rps
+		break
+	}
+
+	// Phase 2: bisect [lo, hi] until within 10%. lo == 0 means even the
+	// starting rate failed: report zero capacity rather than probing
+	// below the caller's floor.
+	if lo == 0 {
+		return res, nil
+	}
+	for hi/lo > 1.10 {
+		mid := (lo + hi) / 2
+		t, err := trial(mid)
+		if err != nil {
+			return res, err
+		}
+		if t.Pass {
+			lo = mid
+			res.MaxSustainableRPS = mid
+			continue
+		}
+		if generatorLimited(t) {
+			res.GeneratorLimited = true
+			return res, nil
+		}
+		hi = mid
+	}
+	return res, nil
+}

@@ -30,6 +30,10 @@ type Objective struct {
 	Threshold time.Duration
 	// Target is the required good fraction, in (0, 1).
 	Target float64
+	// Window overrides the engine's short burn-rate window for this
+	// objective only; zero keeps the engine default. It must not exceed
+	// the engine's long window (the SLI rings only cover that much).
+	Window time.Duration
 }
 
 func (o Objective) name() string {
@@ -44,12 +48,18 @@ func (o Objective) name() string {
 // list of key=value fields:
 //
 //	name=demand-latency,kind=latency,threshold=200ms,target=0.99
-//	kind=precision,target=0.3
+//	kind=precision,target=0.3,window=10m
 //
 // Lines starting with '#' and empty elements are skipped, so the same
-// grammar works inline on a flag and as a config file.
+// grammar works inline on a flag and as a config file. The optional
+// window field overrides the engine's short burn-rate window for that
+// objective. Objective names (explicit or defaulted from the kind)
+// must be unique: two objectives rendering under one pbppm_slo_* label
+// would collide at registration, so the duplicate is rejected here
+// with a readable error instead.
 func ParseObjectives(s string) ([]Objective, error) {
 	var out []Objective
+	seen := make(map[string]bool)
 	split := func(r rune) bool { return r == ';' || r == '\n' }
 	for _, raw := range strings.FieldsFunc(s, split) {
 		raw = strings.TrimSpace(raw)
@@ -84,6 +94,15 @@ func ParseObjectives(s string) ([]Objective, error) {
 					return nil, fmt.Errorf("obs: objective %q: bad target: %v", raw, err)
 				}
 				o.Target = f
+			case "window":
+				d, err := time.ParseDuration(v)
+				if err != nil {
+					return nil, fmt.Errorf("obs: objective %q: bad window: %v", raw, err)
+				}
+				if d <= 0 {
+					return nil, fmt.Errorf("obs: objective %q: window %v must be positive", raw, d)
+				}
+				o.Window = d
 			default:
 				return nil, fmt.Errorf("obs: objective %q: unknown field %q", raw, k)
 			}
@@ -97,6 +116,10 @@ func ParseObjectives(s string) ([]Objective, error) {
 		if o.Kind == "latency" && o.Threshold <= 0 {
 			return nil, fmt.Errorf("obs: objective %q: latency objective needs a threshold", raw)
 		}
+		if seen[o.name()] {
+			return nil, fmt.Errorf("obs: objective %q: duplicate objective name %q", raw, o.name())
+		}
+		seen[o.name()] = true
 		out = append(out, o)
 	}
 	return out, nil
@@ -239,6 +262,20 @@ func (e *SLOEngine) source(kind string) SLIFunc {
 	return e.sources[kind]
 }
 
+// windowsFor returns the short and long evaluation spans for an
+// objective: the objective's own window (clamped to the long window)
+// when set, else the engine's short window.
+func (e *SLOEngine) windowsFor(o Objective) (short, long time.Duration) {
+	short, long = e.short, e.long
+	if o.Window > 0 {
+		short = o.Window
+		if short > long {
+			short = long
+		}
+	}
+	return short, long
+}
+
 // evaluateObjective computes one objective's window statuses and state.
 func (e *SLOEngine) evaluateObjective(o Objective) ObjectiveStatus {
 	st := ObjectiveStatus{
@@ -254,9 +291,10 @@ func (e *SLOEngine) evaluateObjective(o Objective) ObjectiveStatus {
 	if src == nil {
 		return st
 	}
+	short, long := e.windowsFor(o)
 	var burns []float64
 	hasData := false
-	for _, span := range []time.Duration{e.short, e.long} {
+	for _, span := range []time.Duration{short, long} {
 		good, total := src(o.Threshold, span)
 		ws := WindowStatus{Span: span.String(), Good: good, Total: total, Compliance: 1}
 		if total > 0 {
@@ -309,7 +347,8 @@ func (e *SLOEngine) Register(reg *Registry) {
 	}
 	for _, o := range e.objectives {
 		o := o
-		for wi, span := range []time.Duration{e.short, e.long} {
+		short, long := e.windowsFor(o)
+		for wi, span := range []time.Duration{short, long} {
 			wi := wi
 			labels := []Label{
 				{Name: "objective", Value: o.name()},

@@ -40,13 +40,108 @@ func TestParseObjectivesErrors(t *testing.T) {
 	for _, bad := range []string{
 		"kind=latency,target=0.99",          // latency without threshold
 		"kind=precision,target=1.5",         // target out of range
+		"kind=precision,target=0",           // target at lower edge
 		"target=0.5",                        // missing kind
 		"kind=latency,threshold=200ms,nope", // not key=value
 		"kind=latency,threshold=xyz,target=0.9",
+		"kind=latency,threshold=200ms,target=0.9,color=red",                   // unknown field
+		"kind=precision,target=0.3,window=abc",                                // malformed window duration
+		"kind=precision,target=0.3,window=-5m",                                // negative window
+		"kind=precision,target=0.3,window=0s",                                 // zero window
+		"kind=precision,target=0.3; kind=precision,target=0.5",                // duplicate default names
+		"name=a,kind=precision,target=0.3; name=a,kind=hit_ratio,target=0.5",  // duplicate explicit names
+		"name=precision,kind=precision,target=0.3; kind=precision,target=0.5", // explicit collides with default
 	} {
 		if _, err := ParseObjectives(bad); err == nil {
 			t.Errorf("ParseObjectives(%q) accepted invalid input", bad)
 		}
+	}
+}
+
+func TestParseObjectivesWindowOverride(t *testing.T) {
+	objs, err := ParseObjectives("kind=precision,target=0.3,window=10m")
+	if err != nil {
+		t.Fatalf("ParseObjectives: %v", err)
+	}
+	if objs[0].Window != 10*time.Minute {
+		t.Fatalf("window = %v, want 10m", objs[0].Window)
+	}
+	// Same kind under distinct names is legal; both evaluate under their
+	// own short window.
+	objs, err = ParseObjectives("name=fast,kind=latency,threshold=50ms,target=0.9,window=1m;" +
+		"name=slow,kind=latency,threshold=50ms,target=0.9")
+	if err != nil {
+		t.Fatalf("ParseObjectives: %v", err)
+	}
+	e := NewSLOEngine(objs)
+	e.Bind("latency", func(threshold, span time.Duration) (float64, float64) {
+		return 100, 100
+	})
+	rep := e.Evaluate()
+	if got := rep.Objectives[0].Windows[0].Span; got != "1m0s" {
+		t.Fatalf("fast objective short window = %q, want 1m0s", got)
+	}
+	if got := rep.Objectives[1].Windows[0].Span; got != "5m0s" {
+		t.Fatalf("slow objective short window = %q, want engine default 5m0s", got)
+	}
+	// A per-objective window never exceeds the long window the SLI rings
+	// are sized for.
+	e2 := NewSLOEngine([]Objective{{Kind: "latency", Threshold: time.Second, Target: 0.9, Window: 2 * time.Hour}})
+	e2.Bind("latency", func(threshold, span time.Duration) (float64, float64) { return 1, 1 })
+	if got := e2.Evaluate().Objectives[0].Windows[0].Span; got != "1h0m0s" {
+		t.Fatalf("oversized window clamped to %q, want 1h0m0s", got)
+	}
+}
+
+// TestSLONoDataRecovers drives a latency SLI through the lifecycle an
+// idle-then-busy server produces: traffic, then a gap long enough that
+// every rolling bucket ages out (no_data), then traffic again (ok).
+func TestSLONoDataRecovers(t *testing.T) {
+	now := time.Unix(1_000_000, 0)
+	clock := func() time.Time { return now }
+	hist := NewRollingHistogram(Window{Span: time.Hour, Granularity: 10 * time.Second, Clock: clock}, nil)
+
+	e := NewSLOEngine([]Objective{{Name: "lat", Kind: "latency", Threshold: 100 * time.Millisecond, Target: 0.9}})
+	e.SetClock(clock)
+	e.Bind("latency", func(threshold, span time.Duration) (float64, float64) {
+		good, total := hist.GoodTotal(span, threshold)
+		return float64(good), float64(total)
+	})
+
+	state := func() string { return e.Evaluate().Objectives[0].State }
+
+	if got := state(); got != SLOStateNoData {
+		t.Fatalf("pre-traffic state = %q, want no_data", got)
+	}
+	for i := 0; i < 100; i++ {
+		hist.Observe(10 * time.Millisecond)
+	}
+	if got := state(); got != SLOStateOK {
+		t.Fatalf("under traffic state = %q, want ok", got)
+	}
+
+	// Idle past the long window: every bucket ages out of both spans.
+	now = now.Add(2 * time.Hour)
+	if got := state(); got != SLOStateNoData {
+		t.Fatalf("post-idle state = %q, want no_data", got)
+	}
+
+	// Traffic resumes: the engine recovers to ok without any reset call.
+	for i := 0; i < 50; i++ {
+		hist.Observe(10 * time.Millisecond)
+	}
+	if got := state(); got != SLOStateOK {
+		t.Fatalf("resumed state = %q, want ok", got)
+	}
+
+	// And a resumed burst of bad latency is judged on its own: the
+	// short window sees only the new observations.
+	now = now.Add(2 * time.Hour)
+	for i := 0; i < 50; i++ {
+		hist.Observe(5 * time.Second)
+	}
+	if got := state(); got != SLOStateCritical {
+		t.Fatalf("resumed-bad state = %q, want critical", got)
 	}
 }
 

@@ -17,6 +17,9 @@ type ClientStats struct {
 	PrefetchHits  int64
 	Prefetched    int64
 	PrefetchError int64
+	// ReportsDropped counts pending hit reports discarded because the
+	// batch hit its cap (a flapping server kept requeueing them).
+	ReportsDropped int64
 }
 
 // HitRatio is total hits over requests.
@@ -31,11 +34,12 @@ func (s ClientStats) HitRatio() float64 {
 // its identity with every request, and fetches the server's prefetch
 // hints into the cache in the background.
 type Client struct {
-	id       string
-	base     string
-	http     *http.Client
-	maxSize  int64
-	syncPref bool
+	id         string
+	base       string
+	http       *http.Client
+	maxSize    int64
+	maxPending int
+	syncPref   bool
 
 	mu    sync.Mutex
 	cache cache.Policy
@@ -70,7 +74,18 @@ type ClientConfig struct {
 	// replays (the live-vs-offline equivalence test) need it; serving
 	// real users does not.
 	SynchronousPrefetch bool
+	// MaxPendingReports caps the batched hit reports held for the next
+	// delivery; zero selects DefaultMaxPendingReports. Requeue-on-error
+	// puts undelivered batches back, so without a cap a flapping server
+	// would grow the batch without bound — over the cap the oldest
+	// entries are dropped and counted in ClientStats.ReportsDropped.
+	MaxPendingReports int
 }
+
+// DefaultMaxPendingReports bounds the pending report batch: 256 entries
+// is hours of browsing for one client, and a dropped report only costs
+// the server one scored hit, not correctness.
+const DefaultMaxPendingReports = 256
 
 // NewClient builds a prefetching client. It returns an error on a
 // missing ID or base URL.
@@ -97,13 +112,18 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
+	maxPending := cfg.MaxPendingReports
+	if maxPending <= 0 {
+		maxPending = DefaultMaxPendingReports
+	}
 	return &Client{
-		id:       cfg.ID,
-		base:     cfg.BaseURL,
-		http:     hc,
-		maxSize:  maxSize,
-		syncPref: cfg.SynchronousPrefetch,
-		cache:    pol,
+		id:         cfg.ID,
+		base:       cfg.BaseURL,
+		http:       hc,
+		maxSize:    maxSize,
+		maxPending: maxPending,
+		syncPref:   cfg.SynchronousPrefetch,
+		cache:      pol,
 	}, nil
 }
 
@@ -119,11 +139,13 @@ func (c *Client) Get(url string) (source string, err error) {
 			c.stats.PrefetchHits++
 			c.cache.MarkDemand(url)
 			c.pending = append(c.pending, ReportEntry{URL: url, Outcome: quality.PrefetchHit})
+			c.trimPendingLocked()
 			c.mu.Unlock()
 			return "prefetch", nil
 		}
 		c.stats.CacheHits++
 		c.pending = append(c.pending, ReportEntry{URL: url, Outcome: quality.CacheHit})
+		c.trimPendingLocked()
 		c.mu.Unlock()
 		return "cache", nil
 	}
@@ -231,14 +253,29 @@ func (c *Client) takeReports() []ReportEntry {
 }
 
 // requeueReports puts an undelivered batch back at the head of the
-// queue (transport failure: the server never saw it).
+// queue (transport failure: the server never saw it). The requeued
+// batch counts against the pending cap like any other entries, so a
+// server that keeps failing cannot grow the batch without bound.
 func (c *Client) requeueReports(reports []ReportEntry) {
 	if len(reports) == 0 {
 		return
 	}
 	c.mu.Lock()
 	c.pending = append(reports, c.pending...)
+	c.trimPendingLocked()
 	c.mu.Unlock()
+}
+
+// trimPendingLocked drops the oldest pending reports over the cap and
+// counts them. The head of the queue is oldest (requeued batches keep
+// delivery order), so trimming the front keeps the freshest outcomes —
+// the ones the server's rolling live scorer can still use. Callers hold
+// c.mu.
+func (c *Client) trimPendingLocked() {
+	if over := len(c.pending) - c.maxPending; over > 0 {
+		c.stats.ReportsDropped += int64(over)
+		c.pending = append(c.pending[:0], c.pending[over:]...)
+	}
 }
 
 // Flush delivers any pending hit reports on a report-only beacon (the

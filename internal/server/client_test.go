@@ -137,3 +137,73 @@ func TestManyClientsShareServer(t *testing.T) {
 		t.Error("server saw no prefetch fetches")
 	}
 }
+
+// TestClientPendingReportsBounded regresses the unbounded requeue path:
+// a flapping server fails every delivery, so every Flush requeues its
+// batch; the pending batch must stay capped (drop-oldest) rather than
+// grow with every local hit.
+func TestClientPendingReportsBounded(t *testing.T) {
+	cl, err := NewClient(ClientConfig{
+		ID:                "tester",
+		BaseURL:           "http://127.0.0.1:1", // nothing listens: every delivery fails
+		MaxPendingReports: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed the cache directly so every Get is a local cache hit that
+	// queues a report without needing the (dead) server.
+	cl.mu.Lock()
+	cl.cache.Put("/page", 100, false)
+	cl.mu.Unlock()
+
+	for i := 0; i < 50; i++ {
+		if _, err := cl.Get("/page"); err != nil {
+			t.Fatalf("cache-hit Get should not touch the network: %v", err)
+		}
+		if err := cl.Flush(); err == nil {
+			t.Fatal("Flush against a dead server should fail")
+		}
+	}
+
+	cl.mu.Lock()
+	pending := len(cl.pending)
+	cl.mu.Unlock()
+	if pending > 8 {
+		t.Fatalf("pending batch grew to %d entries, cap is 8", pending)
+	}
+	st := cl.Stats()
+	if st.ReportsDropped != 50-int64(pending) {
+		t.Fatalf("ReportsDropped = %d, want %d (50 queued, %d retained)",
+			st.ReportsDropped, 50-pending, pending)
+	}
+
+	// The retained entries are the newest: delivery order survives the
+	// trims, so the head of the queue is the oldest survivor.
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	for _, e := range cl.pending {
+		if e.URL != "/page" {
+			t.Fatalf("unexpected pending entry %+v", e)
+		}
+	}
+}
+
+// TestClientDefaultPendingCap checks the default cap is applied and a
+// within-cap batch is never trimmed.
+func TestClientDefaultPendingCap(t *testing.T) {
+	cl, err := NewClient(ClientConfig{ID: "t", BaseURL: "http://127.0.0.1:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.maxPending != DefaultMaxPendingReports {
+		t.Fatalf("default cap = %d, want %d", cl.maxPending, DefaultMaxPendingReports)
+	}
+	cl.requeueReports([]ReportEntry{{URL: "/a"}, {URL: "/b"}})
+	if st := cl.Stats(); st.ReportsDropped != 0 {
+		t.Fatalf("within-cap requeue dropped %d reports", st.ReportsDropped)
+	}
+	if got := len(cl.takeReports()); got != 2 {
+		t.Fatalf("takeReports returned %d entries, want 2", got)
+	}
+}
