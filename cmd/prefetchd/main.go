@@ -16,11 +16,22 @@
 //	          [-slo "name=...,kind=...,target=..."] [-slo-file path]
 //	          [-live-window 5m] [-warm-days 3]
 //	          [-pages N] [-sessions-per-day N] [-max-hints N]
+//	          [-shards N] [-router-addr host]
 //
 // -pages, -sessions-per-day, and -warm-days shrink the synthetic site
 // and warm history for fast boots under load benchmarks (cmd/loadbench
 // must be given the same -pages so its walkers navigate the same
 // site).
+//
+// -shards N (N > 1) serves through an in-process consistent-hash
+// cluster: a router hashes each request's client identity onto one of
+// N shard servers, every shard holds the replicated frozen model, and
+// published model updates fan out to all shards. Per-shard metrics are
+// exposed on the admin listener at /debug/shard/<id>/metrics; the
+// process-level /metrics carries the routing-tier series
+// (pbppm_shard_requests_total, pbppm_cluster_*). -router-addr names
+// the one upstream host allowed to assert X-Client-ID (an outer load
+// balancer or a standalone router); unset, any peer may assert it.
 //
 // The admin listener serves /metrics (Prometheus text exposition),
 // /healthz, /debug/pprof, /debug/stats, /debug/traces, and /debug/slo
@@ -69,6 +80,8 @@ func main() {
 	flag.IntVar(&cfg.pages, "pages", 0, "override the profile's page count (load generators must match)")
 	flag.IntVar(&cfg.sessionsPerDay, "sessions-per-day", 0, "override the profile's mean sessions per day of warm history")
 	flag.IntVar(&cfg.maxHints, "max-hints", 0, "override the per-response X-Prefetch hint cap (0 = server default)")
+	flag.IntVar(&cfg.shards, "shards", 1, "serve through an in-process consistent-hash cluster of N shards (1 = single server)")
+	flag.StringVar(&cfg.routerAddr, "router-addr", "", "trusted upstream host allowed to assert X-Client-ID (empty trusts any peer)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
 	flag.Parse()
 

@@ -39,7 +39,12 @@ type Environment struct {
 	GoVersion string `json:"go_version"`
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
-	NumCPU    int    `json:"num_cpu"`
+	// NumCPU is the machine's logical CPU count; GOMAXPROCS is the
+	// parallelism the runtime actually granted this process (container
+	// quotas or an explicit GOMAXPROCS make it smaller). Throughput
+	// numbers scale with the latter, so both are recorded.
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
 	// Commit is the VCS revision baked into the binary, when built from
 	// a checkout (empty under plain `go run` without VCS stamping).
 	Commit string `json:"commit,omitempty"`
@@ -48,10 +53,11 @@ type Environment struct {
 // CaptureEnvironment reads the current process's environment block.
 func CaptureEnvironment() Environment {
 	env := Environment{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	if info, ok := debug.ReadBuildInfo(); ok {
 		for _, s := range info.Settings {
@@ -162,7 +168,7 @@ func (r *Report) Validate() error {
 	if r.Tool == "" {
 		return fmt.Errorf("benchreport: artifact has no tool name")
 	}
-	if r.Env.GoVersion == "" || r.Env.NumCPU <= 0 {
+	if r.Env.GoVersion == "" || r.Env.NumCPU <= 0 || r.Env.GOMAXPROCS <= 0 {
 		return fmt.Errorf("benchreport: artifact has an incomplete environment block: %+v", r.Env)
 	}
 	seen := make(map[[2]string]bool, len(r.Records))

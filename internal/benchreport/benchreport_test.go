@@ -50,7 +50,7 @@ func TestReportRoundTrip(t *testing.T) {
 	if got.Schema != SchemaVersion || got.Tool != "reproduce" || got.Scale != "small" {
 		t.Errorf("header mismatch: %+v", got)
 	}
-	if got.Env.GoVersion == "" || got.Env.NumCPU <= 0 {
+	if got.Env.GoVersion == "" || got.Env.NumCPU <= 0 || got.Env.GOMAXPROCS <= 0 {
 		t.Errorf("environment not captured: %+v", got.Env)
 	}
 	if !reflect.DeepEqual(got.Records, r.Records) {

@@ -87,7 +87,6 @@ func (g *Generator) FindMax(ctx context.Context, startRPS float64, trialDur time
 		trialDur = 10 * time.Second
 	}
 	gate = gate.withDefaults()
-	res := &FindMaxResult{}
 
 	trial := func(rps float64) (Trial, error) {
 		warm := trialDur / 2
@@ -126,8 +125,25 @@ func (g *Generator) FindMax(ctx context.Context, startRPS float64, trialDur time
 			}
 			g.cfg.Logf("find-max trial %.4g rps: %s (%s)", rps, verdict, t.Reason)
 		}
-		res.Trials = append(res.Trials, t)
 		return t, nil
+	}
+
+	return findMax(startRPS, gate, trial)
+}
+
+// findMax is the search loop behind FindMax, separated from scenario
+// execution so the gate edges — cap clamping, pass-at-cap, a
+// generator-limited trial interrupting the bisection — are testable
+// with scripted trial verdicts instead of live traffic. gate must
+// already have its defaults applied; trial probes one steady rate.
+func findMax(startRPS float64, gate Gate, trial func(rps float64) (Trial, error)) (*FindMaxResult, error) {
+	res := &FindMaxResult{}
+	probe := func(rps float64) (Trial, error) {
+		t, err := trial(rps)
+		if err == nil {
+			res.Trials = append(res.Trials, t)
+		}
+		return t, err
 	}
 
 	generatorLimited := func(t Trial) bool {
@@ -140,7 +156,7 @@ func (g *Generator) FindMax(ctx context.Context, startRPS float64, trialDur time
 		if gate.MaxRPS > 0 && rps > gate.MaxRPS {
 			rps = gate.MaxRPS
 		}
-		t, err := trial(rps)
+		t, err := probe(rps)
 		if err != nil {
 			return res, err
 		}
@@ -169,7 +185,7 @@ func (g *Generator) FindMax(ctx context.Context, startRPS float64, trialDur time
 	}
 	for hi/lo > 1.10 {
 		mid := (lo + hi) / 2
-		t, err := trial(mid)
+		t, err := probe(mid)
 		if err != nil {
 			return res, err
 		}

@@ -227,6 +227,10 @@ type Maintainer struct {
 	// touch it: like the space optimizations, re-ranking belongs to the
 	// compaction path.
 	lastRank atomic.Pointer[popularity.Ranking]
+
+	// subscribers receive every published snapshot after Config.OnPublish;
+	// guarded by publishMu so delivery serializes with publishes.
+	subscribers []func(markov.Predictor)
 }
 
 // New returns an empty maintainer. It returns an error on a nil
@@ -411,7 +415,27 @@ func (m *Maintainer) publish(model markov.Predictor) markov.Predictor {
 	if m.cfg.OnPublish != nil {
 		m.cfg.OnPublish(published)
 	}
+	for _, fn := range m.subscribers {
+		fn(published)
+	}
 	return published
+}
+
+// Subscribe registers fn to receive every subsequently published
+// snapshot — the fan-out a cluster uses to replicate one immutable
+// model to all its shards (each shard's SetPredictor is a pointer
+// swap; the snapshot itself is shared). If a snapshot is already
+// published, fn receives it immediately, so subscription order and
+// publish order cannot race a subscriber into staleness. Like
+// Config.OnPublish, fn runs with the publish lock held and must not
+// call back into Rebuild or DeltaMerge.
+func (m *Maintainer) Subscribe(fn func(markov.Predictor)) {
+	m.publishMu.Lock()
+	defer m.publishMu.Unlock()
+	m.subscribers = append(m.subscribers, fn)
+	if p := m.Predictor(); p != nil {
+		fn(p)
+	}
 }
 
 // Rebuild is the full update path, used for the initial build and for

@@ -311,3 +311,47 @@ func TestPublishAnnotationsAndRanking(t *testing.T) {
 		t.Errorf("skipped rebuild added a marker: %d annotations", got)
 	}
 }
+
+// Subscribe fans every published snapshot out to all subscribers (a
+// cluster wires each shard's SetPredictor here), delivers the current
+// snapshot immediately to late subscribers, and keeps OnPublish-before-
+// subscriber ordering on each publish.
+func TestSubscribeFanOut(t *testing.T) {
+	var order []string
+	m, err := New(Config{
+		Factory:   pbFactory,
+		OnPublish: func(markov.Predictor) { order = append(order, "onpublish") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aGot, bGot []markov.Predictor
+	m.Subscribe(func(p markov.Predictor) { order = append(order, "a"); aGot = append(aGot, p) })
+	if len(aGot) != 0 {
+		t.Fatal("subscriber called before any publish")
+	}
+
+	for i := 0; i < 3; i++ {
+		m.Observe(mkSession(i, "/home", "/news"))
+	}
+	model := m.Rebuild(epoch.Add(6 * time.Hour))
+	if len(aGot) != 1 || aGot[0] != model {
+		t.Fatalf("subscriber a got %d snapshots, want the published one", len(aGot))
+	}
+	if want := []string{"onpublish", "a"}; strings.Join(order, ",") != strings.Join(want, ",") {
+		t.Errorf("delivery order = %v, want %v", order, want)
+	}
+
+	// Late subscriber catches up on the current snapshot immediately.
+	m.Subscribe(func(p markov.Predictor) { bGot = append(bGot, p) })
+	if len(bGot) != 1 || bGot[0] != model {
+		t.Fatalf("late subscriber got %v, want immediate catch-up", bGot)
+	}
+
+	// Next publish reaches both.
+	m.Observe(mkSession(8, "/home", "/sports"))
+	next := m.Rebuild(epoch.Add(12 * time.Hour))
+	if len(aGot) != 2 || aGot[1] != next || len(bGot) != 2 || bGot[1] != next {
+		t.Errorf("fan-out after second publish: a=%d b=%d snapshots", len(aGot), len(bGot))
+	}
+}

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Regression for the session-order inversion: ExpireSessions used to
+// deliver OnSessionEnd after releasing the shard lock, so a request
+// racing the expiry could start a successor session, go idle, and have
+// its end delivered before the predecessor's. The fix chains each
+// client's end deliveries; this stress test (run under -race in CI)
+// hammers expiry against per-client request streams whose sessions are
+// tagged with a monotonically increasing URL index and asserts the
+// maintainer-side view never sees a client's sessions out of order.
+func TestSessionEndOrderPerClientUnderConcurrentExpiry(t *testing.T) {
+	const (
+		clients           = 8
+		sessionsPerClient = 40
+		idle              = time.Minute
+	)
+
+	store := MapStore{}
+	for k := 0; k < sessionsPerClient; k++ {
+		url := fmt.Sprintf("/p%d", k)
+		store[url] = Document{URL: url, Body: make([]byte, 64)}
+	}
+
+	// The fake clock is a shared atomic: any goroutine advancing it
+	// makes every open session idle, which is exactly the churn that
+	// provokes the race.
+	base := time.Date(2026, 8, 7, 0, 0, 0, 0, time.UTC)
+	var nanos atomic.Int64
+	clock := func() time.Time { return base.Add(time.Duration(nanos.Load())) }
+
+	var mu sync.Mutex
+	lastSeq := make(map[string]int)
+	var violations []string
+	srv := New(store, Config{
+		Clock:       clock,
+		SessionIdle: idle,
+		OnSessionEnd: func(client string, urls []string, last time.Time) {
+			// Each session holds exactly the URLs of one /p<k>; the last
+			// one carries the session's sequence number.
+			seq, err := strconv.Atoi(strings.TrimPrefix(urls[len(urls)-1], "/p"))
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			if prev, ok := lastSeq[client]; ok && seq < prev {
+				violations = append(violations,
+					fmt.Sprintf("client %s: session %d delivered after %d", client, seq, prev))
+			}
+			lastSeq[client] = seq
+			mu.Unlock()
+		},
+	})
+
+	// Expiry hammers concurrently with the request streams.
+	stop := make(chan struct{})
+	var expiryWG sync.WaitGroup
+	expiryWG.Add(1)
+	go func() {
+		defer expiryWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				srv.ExpireSessions()
+			}
+		}
+	}()
+
+	var streams sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		streams.Add(1)
+		go func(c int) {
+			defer streams.Done()
+			id := fmt.Sprintf("client%d", c)
+			for k := 0; k < sessionsPerClient; k++ {
+				// Jump the shared clock past the idle window so the next
+				// request rotates every client's open session.
+				nanos.Add(int64(2 * idle))
+				req := httptest.NewRequest("GET", fmt.Sprintf("/p%d", k), nil)
+				req.RemoteAddr = "203.0.113.1:1"
+				req.Header.Set(HeaderClientID, id)
+				srv.ServeHTTP(httptest.NewRecorder(), req)
+			}
+		}(c)
+	}
+
+	streamsDone := make(chan struct{})
+	go func() {
+		streams.Wait()
+		close(streamsDone)
+	}()
+	select {
+	case <-streamsDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stress test deadlocked")
+	}
+	close(stop)
+	expiryWG.Wait()
+
+	// Flush whatever is still open so every session is delivered.
+	nanos.Add(int64(2 * idle))
+	srv.ExpireSessions()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(violations) > 0 {
+		t.Fatalf("per-client session order violated %d times; first: %s",
+			len(violations), violations[0])
+	}
+	for c := 0; c < clients; c++ {
+		id := fmt.Sprintf("client%d", c)
+		if lastSeq[id] != sessionsPerClient-1 {
+			t.Errorf("%s: last delivered session = %d, want %d", id, lastSeq[id], sessionsPerClient-1)
+		}
+	}
+}

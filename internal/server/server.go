@@ -122,6 +122,17 @@ type Config struct {
 	// Grades grades hint-event URLs by popularity; nil grades
 	// everything 0 until SetGrader publishes a ranking.
 	Grades popularity.Grader
+	// TrustedPeers lists the peer hosts (the host part of
+	// http.Request.RemoteAddr) allowed to assert client identity through
+	// the X-Client-ID header — typically the cluster router, which
+	// resolves the identity once on ingress and stamps it on the
+	// forwarded hop. Empty keeps the legacy behavior of honoring the
+	// header from any peer (direct cooperating clients set it
+	// themselves); non-empty makes the header spoof-proof: a request
+	// from an unlisted peer falls back to its remote host as identity,
+	// so a forged header can no longer poison another client's session
+	// context.
+	TrustedPeers []string
 }
 
 func (c Config) maxHints() int {
@@ -177,6 +188,26 @@ type Stats struct {
 	// client served from its own prefetch cache never reach the server
 	// and are not counted.
 	HintHits int64
+	// HintReportsUnmatched counts client prefetch-hit reports that found
+	// no outstanding hint record on this server — evicted hints, ended
+	// sessions, or reports landing on a shard that never issued the hint
+	// after a cluster rebalance.
+	HintReportsUnmatched int64
+}
+
+// Add returns element-wise sums, so a cluster can aggregate its
+// shards' snapshots into one Stats.
+func (a Stats) Add(b Stats) Stats {
+	a.DemandRequests += b.DemandRequests
+	a.PrefetchRequests += b.PrefetchRequests
+	a.NotFound += b.NotFound
+	a.HintsIssued += b.HintsIssued
+	a.SessionsStarted += b.SessionsStarted
+	a.SessionsExpired += b.SessionsExpired
+	a.HintFetches += b.HintFetches
+	a.HintHits += b.HintHits
+	a.HintReportsUnmatched += b.HintReportsUnmatched
+	return a
 }
 
 // serverMetrics holds the live counters behind Stats, registered for
@@ -192,6 +223,7 @@ type serverMetrics struct {
 	hintsIssued      *obs.Counter
 	hintFetches      *obs.Counter
 	hintHits         *obs.Counter
+	reportsUnmatched *obs.Counter
 	sessionsStarted  *obs.Counter
 	sessionsExpired  *obs.Counter
 	demandLatency    *obs.Histogram
@@ -221,6 +253,8 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Hinted URLs fetched by cooperating clients (X-Prefetch-Fetch)."),
 		hintHits: reg.Counter("pbppm_hint_hits_total",
 			"Demand requests for URLs previously hinted to the same client."),
+		reportsUnmatched: reg.Counter("pbppm_hint_reports_unmatched_total",
+			"Client prefetch-hit reports that matched no outstanding hint record — the hint was evicted, its session ended, or (in a cluster) a rebalance moved the client to a shard that never issued it."),
 		sessionsStarted: reg.Counter("pbppm_sessions_started_total",
 			"Client access sessions opened."),
 		sessionsExpired: reg.Counter("pbppm_sessions_expired_total",
@@ -249,6 +283,13 @@ const predictContextTail = 16
 type contextShard struct {
 	mu       sync.Mutex
 	contexts map[string]*clientContext
+	// ending tracks in-flight OnSessionEnd deliveries by client: the
+	// channel closes when the ended session's callbacks have run. A
+	// successor session records it as predEnd so its own end waits for
+	// the predecessor's delivery — per-client session ends reach
+	// OnSessionEnd in session order even when expiry and a new request
+	// race (see deliverSessionEnd).
+	ending map[string]chan struct{}
 }
 
 // rankShards is the number of popularity-count shards; URL counting is
@@ -279,9 +320,10 @@ type Server struct {
 
 	shards [contextShards]contextShard
 
-	metrics *serverMetrics
-	tracer  *obs.Tracer
-	live    *liveScore
+	metrics  *serverMetrics
+	tracer   *obs.Tracer
+	live     *liveScore
+	identity IdentityPolicy
 }
 
 // hintMemory caps how many outstanding hinted URLs are remembered per
@@ -319,6 +361,10 @@ type clientContext struct {
 	// this client, consumed when a demand request or client report for
 	// one arrives.
 	hinted []hintRecord
+	// predEnd, when non-nil, is the in-flight end delivery of this
+	// client's previous session; this session's own end waits on it so
+	// OnSessionEnd observes per-client session order.
+	predEnd chan struct{}
 }
 
 // hintedIndex returns the position of url in ctx.hinted, or -1.
@@ -360,10 +406,11 @@ func New(store ContentStore, cfg Config) *Server {
 		panic("server: nil content store")
 	}
 	s := &Server{
-		store:   store,
-		cfg:     cfg,
-		metrics: newServerMetrics(cfg.Obs),
-		tracer:  cfg.Tracer,
+		store:    store,
+		cfg:      cfg,
+		metrics:  newServerMetrics(cfg.Obs),
+		tracer:   cfg.Tracer,
+		identity: NewIdentityPolicy(cfg.TrustedPeers),
 	}
 	// The live-scoring rings cover at least an hour (the SLO engine's
 	// long burn-rate window) at a granularity sized for the live span.
@@ -384,6 +431,7 @@ func New(store ContentStore, cfg Config) *Server {
 	}
 	for i := range s.shards {
 		s.shards[i].contexts = make(map[string]*clientContext)
+		s.shards[i].ending = make(map[string]chan struct{})
 	}
 	if cfg.Predictor != nil {
 		s.SetPredictor(cfg.Predictor)
@@ -454,30 +502,82 @@ func (s *Server) Ranking() *popularity.Ranking {
 // Stats returns a snapshot of the counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		DemandRequests:   s.metrics.demandRequests.Value(),
-		PrefetchRequests: s.metrics.prefetchRequests.Value(),
-		NotFound:         s.metrics.notFound.Value(),
-		HintsIssued:      s.metrics.hintsIssued.Value(),
-		SessionsStarted:  s.metrics.sessionsStarted.Value(),
-		SessionsExpired:  s.metrics.sessionsExpired.Value(),
-		HintFetches:      s.metrics.hintFetches.Value(),
-		HintHits:         s.metrics.hintHits.Value(),
+		DemandRequests:       s.metrics.demandRequests.Value(),
+		PrefetchRequests:     s.metrics.prefetchRequests.Value(),
+		NotFound:             s.metrics.notFound.Value(),
+		HintsIssued:          s.metrics.hintsIssued.Value(),
+		SessionsStarted:      s.metrics.sessionsStarted.Value(),
+		SessionsExpired:      s.metrics.sessionsExpired.Value(),
+		HintFetches:          s.metrics.hintFetches.Value(),
+		HintHits:             s.metrics.hintHits.Value(),
+		HintReportsUnmatched: s.metrics.reportsUnmatched.Value(),
 	}
 }
 
-// clientOf extracts the client identity from a request. Remote
-// addresses are split with net.SplitHostPort so bracketed IPv6
-// addresses ("[::1]:4242") keep their full host; addresses without a
-// port are used as-is.
-func clientOf(r *http.Request) string {
-	if id := r.Header.Get(HeaderClientID); id != "" {
+// IdentityPolicy resolves the client identity of a request and decides
+// which peers may assert it through the X-Client-ID header. The zero
+// value (and NewIdentityPolicy(nil)) trusts the header from any peer —
+// the legacy single-server behavior, where cooperating clients speak
+// directly to the server. A policy with trusted peers honors the
+// header only from those hosts (the cluster router stamps it on the
+// forwarded hop) and treats everyone else by remote host, so a forged
+// header cannot impersonate another client.
+type IdentityPolicy struct {
+	trusted map[string]bool
+}
+
+// NewIdentityPolicy builds a policy trusting the given peer hosts;
+// empty input trusts every peer.
+func NewIdentityPolicy(trustedPeers []string) IdentityPolicy {
+	if len(trustedPeers) == 0 {
+		return IdentityPolicy{}
+	}
+	m := make(map[string]bool, len(trustedPeers))
+	for _, p := range trustedPeers {
+		if p != "" {
+			m[p] = true
+		}
+	}
+	return IdentityPolicy{trusted: m}
+}
+
+// ClientOf resolves the request's client identity under the policy.
+func (ip IdentityPolicy) ClientOf(r *http.Request) string {
+	if id := r.Header.Get(HeaderClientID); id != "" && ip.trustsPeer(r.RemoteAddr) {
 		return id
 	}
+	return remoteHost(r)
+}
+
+// trustsPeer reports whether the peer behind remoteAddr may assert the
+// identity header.
+func (ip IdentityPolicy) trustsPeer(remoteAddr string) bool {
+	if ip.trusted == nil {
+		return true
+	}
+	host, _, err := net.SplitHostPort(remoteAddr)
+	if err != nil || host == "" {
+		host = remoteAddr
+	}
+	return ip.trusted[host]
+}
+
+// remoteHost extracts the request's remote host. Remote addresses are
+// split with net.SplitHostPort so bracketed IPv6 addresses
+// ("[::1]:4242") keep their full host; addresses without a port are
+// used as-is.
+func remoteHost(r *http.Request) string {
 	host, _, err := net.SplitHostPort(r.RemoteAddr)
 	if err != nil || host == "" {
 		return r.RemoteAddr
 	}
 	return host
+}
+
+// clientOf is the trust-any resolution used by the single-server path
+// (no configured TrustedPeers); kept as a helper for tests.
+func clientOf(r *http.Request) string {
+	return IdentityPolicy{}.ClientOf(r)
 }
 
 // ServeHTTP serves the document and attaches prefetch hints. It holds
@@ -490,7 +590,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	client := clientOf(r)
+	client := s.identity.ClientOf(r)
 	// Client hit reports ride along on any request (and on report-only
 	// beacons); ingest them before demand accounting so a batch
 	// attached to a navigation scores in client-event order.
@@ -597,13 +697,23 @@ func (s *Server) ingestReports(client string, reports []ReportEntry) {
 		case quality.PrefetchHit:
 			sh.mu.Lock()
 			rec := hintRecord{url: rep.URL, issued: now}
+			matched := false
 			if ctx := sh.contexts[client]; ctx != nil {
 				if i := ctx.hintedIndex(rep.URL); i >= 0 {
 					rec = ctx.hinted[i]
 					ctx.hinted = append(ctx.hinted[:i], ctx.hinted[i+1:]...)
+					matched = true
 				}
 			}
 			sh.mu.Unlock()
+			// An unmatched report still scores (the client really was
+			// served from its prefetch cache) against a synthetic record,
+			// but it is counted: a rising rate means hints are being
+			// evicted too aggressively or, in a cluster, reports are
+			// landing on shards that never issued them (rebalance).
+			if !matched {
+				s.metrics.reportsUnmatched.Inc()
+			}
 			s.live.hit(client, rec, size, true, now)
 		case quality.CacheHit:
 			s.live.demand(size, quality.CacheHit)
@@ -638,11 +748,18 @@ func (s *Server) observeDemand(client, url string, size int64) []markov.Predicti
 	sh.mu.Lock()
 	ctx := sh.contexts[client]
 	var ended *clientContext
+	var endDone chan struct{}
 	if ctx == nil || now.Sub(ctx.last) > s.cfg.idle() {
 		if ctx != nil {
 			ended = ctx
+			endDone = make(chan struct{})
+			sh.ending[client] = endDone
 		}
-		ctx = &clientContext{}
+		// The successor session chains onto whatever end delivery is in
+		// flight for this client — the rotation just recorded, or one an
+		// earlier ExpireSessions has not finished delivering — so its own
+		// end cannot overtake the predecessor's.
+		ctx = &clientContext{predEnd: sh.ending[client]}
 		sh.contexts[client] = ctx
 		s.metrics.sessionsStarted.Inc()
 	}
@@ -680,10 +797,7 @@ func (s *Server) observeDemand(client, url string, size int64) []markov.Predicti
 		s.live.hit(client, hitRec, size, false, now)
 	}
 	if ended != nil {
-		s.wasteHints(client, ended.hinted, now)
-		if s.cfg.OnSessionEnd != nil {
-			s.cfg.OnSessionEnd(client, ended.urls, ended.last)
-		}
+		s.deliverSessionEnd(sh, client, ended, endDone, now)
 	}
 	span.Mark(obs.StageContext)
 
@@ -765,34 +879,118 @@ func (s *Server) contextURLs(client string) []string {
 	return append([]string(nil), ctx.urls...)
 }
 
-// ExpireSessions drops client contexts idle beyond the session window;
-// long-running servers call it periodically to bound memory. Expired
-// contexts are reported through OnSessionEnd. Each shard is locked
-// independently, so expiry never stalls the whole server.
-func (s *Server) ExpireSessions() int {
-	now := s.cfg.now()
-	type endedCtx struct {
-		client string
-		ctx    *clientContext
+// deliverSessionEnd runs a closed session's callbacks — Wasted hint
+// events and OnSessionEnd — with no server lock held. It first waits
+// for the client's previous session end (if one is still in flight) so
+// the maintainer observes each client's sessions in session order, and
+// closes done afterwards so the client's next end waits on this one.
+// The registration in sh.ending is cleaned up unless a later end has
+// already replaced it.
+func (s *Server) deliverSessionEnd(sh *contextShard, client string, ctx *clientContext, done chan struct{}, now time.Time) {
+	defer func() {
+		close(done)
+		sh.mu.Lock()
+		if sh.ending[client] == done {
+			delete(sh.ending, client)
+		}
+		sh.mu.Unlock()
+	}()
+	if ctx.predEnd != nil {
+		<-ctx.predEnd
 	}
+	s.wasteHints(client, ctx.hinted, now)
+	if s.cfg.OnSessionEnd != nil {
+		s.cfg.OnSessionEnd(client, ctx.urls, ctx.last)
+	}
+}
+
+// endedCtx is one context removed from its shard, awaiting callback
+// delivery outside the shard lock.
+type endedCtx struct {
+	sh     *contextShard
+	client string
+	ctx    *clientContext
+	done   chan struct{}
+}
+
+// removeSessions removes every context matching keep==false from the
+// shards and returns them registered for ordered end delivery; the
+// caller delivers them without any lock held.
+func (s *Server) removeSessions(expire func(*clientContext) bool) []endedCtx {
 	var ended []endedCtx
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		for c, ctx := range sh.contexts {
-			if now.Sub(ctx.last) > s.cfg.idle() {
+			if expire(ctx) {
 				delete(sh.contexts, c)
-				ended = append(ended, endedCtx{client: c, ctx: ctx})
+				done := make(chan struct{})
+				sh.ending[c] = done
+				ended = append(ended, endedCtx{sh: sh, client: c, ctx: ctx, done: done})
 			}
 		}
 		sh.mu.Unlock()
 	}
+	return ended
+}
+
+// ExpireSessions drops client contexts idle beyond the session window;
+// long-running servers call it periodically to bound memory. Expired
+// contexts are reported through OnSessionEnd in per-client session
+// order (an expiry racing a new request from the same client cannot
+// deliver the newer session's end first). Each shard is locked
+// independently, so expiry never stalls the whole server.
+func (s *Server) ExpireSessions() int {
+	now := s.cfg.now()
+	ended := s.removeSessions(func(ctx *clientContext) bool {
+		return now.Sub(ctx.last) > s.cfg.idle()
+	})
 	s.metrics.sessionsExpired.Add(int64(len(ended)))
 	for _, e := range ended {
-		s.wasteHints(e.client, e.ctx.hinted, now)
-		if s.cfg.OnSessionEnd != nil {
-			s.cfg.OnSessionEnd(e.client, e.ctx.urls, e.ctx.last)
-		}
+		s.deliverSessionEnd(e.sh, e.client, e.ctx, e.done, now)
 	}
 	return len(ended)
+}
+
+// FlushSessions ends every open client context regardless of idleness,
+// delivering each through OnSessionEnd like ExpireSessions. A cluster
+// uses it to drain a shard leaving the ring so its in-progress
+// sessions still reach the training window; a server shutting down can
+// use it the same way.
+func (s *Server) FlushSessions() int {
+	now := s.cfg.now()
+	ended := s.removeSessions(func(*clientContext) bool { return true })
+	s.metrics.sessionsExpired.Add(int64(len(ended)))
+	for _, e := range ended {
+		s.deliverSessionEnd(e.sh, e.client, e.ctx, e.done, now)
+	}
+	return len(ended)
+}
+
+// OpenSession describes one open client context: how many URLs the
+// session has accumulated and how many hint records are outstanding.
+// The cluster's rebalance accounting reads these to price a ring
+// change (sessions remapped, hints orphaned).
+type OpenSession struct {
+	Client string
+	URLs   int
+	Hints  int
+	Last   time.Time
+}
+
+// OpenSessions snapshots the currently open client contexts. Each
+// shard is locked briefly and independently.
+func (s *Server) OpenSessions() []OpenSession {
+	var out []OpenSession
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for c, ctx := range sh.contexts {
+			out = append(out, OpenSession{
+				Client: c, URLs: len(ctx.urls), Hints: len(ctx.hinted), Last: ctx.last,
+			})
+		}
+		sh.mu.Unlock()
+	}
+	return out
 }
