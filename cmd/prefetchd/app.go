@@ -58,6 +58,17 @@ type appConfig struct {
 	// cluster mode it is the cluster router's own ingress trust. Empty
 	// keeps the legacy trust-any-peer contract.
 	routerAddr string
+	// snapshotAddr, when set, runs this process as a snapshot follower:
+	// instead of training locally it polls the named publisher endpoint
+	// (another prefetchd's admin /snapshot) and installs each validated
+	// model + ranking through the crash-safe publish gate. Warm-start
+	// training and the maintenance loops are skipped; the process serves
+	// without hints until the first snapshot installs.
+	snapshotAddr string
+	// snapshotPoll paces the follower's poll loop; zero selects the
+	// follower default. Each poll long-polls the publisher, so a new
+	// version normally propagates in one round trip.
+	snapshotPoll time.Duration
 }
 
 // serving abstracts the request tier — one server.Server, or the
@@ -94,6 +105,8 @@ type app struct {
 	serve  serving           // whichever of srv/clu is active
 	engine *obs.SLOEngine
 	ann    *obs.Annotations
+	pub    *maintain.Publisher // serves /snapshot; nil in follower mode
+	fol    *maintain.Follower  // polls -snapshot-addr; nil otherwise
 
 	web   *http.Server
 	admin *http.Server // nil when cfg.adminAddr is empty
@@ -154,14 +167,21 @@ func newApp(cfg appConfig, logger *slog.Logger) (*app, error) {
 	store := storeFromSite(site)
 	a.pages = len(site.Pages)
 
-	// Warm-start: train on a generated history of the same site.
+	// Warm-start: train on a generated history of the same site. A
+	// snapshot follower skips this — its model arrives over the wire
+	// from the publisher, which trained the real one.
+	var sessions []session.Session
 	warm := p
 	warm.Days = cfg.warmDays
-	tr, err := tracegen.GenerateOn(site, warm)
-	if err != nil {
-		return nil, fmt.Errorf("generating warm history: %w", err)
+	var warmEpoch time.Time
+	if cfg.snapshotAddr == "" {
+		tr, err := tracegen.GenerateOn(site, warm)
+		if err != nil {
+			return nil, fmt.Errorf("generating warm history: %w", err)
+		}
+		sessions = session.Sessionize(tr, session.Config{})
+		warmEpoch = tr.Epoch
 	}
-	sessions := session.Sessionize(tr, session.Config{})
 
 	a.reg = obs.NewRegistry()
 	a.tracer = obs.NewTracer(a.reg, cfg.traceSample)
@@ -204,26 +224,45 @@ func newApp(cfg appConfig, logger *slog.Logger) (*app, error) {
 	if err != nil {
 		return nil, fmt.Errorf("creating maintainer: %w", err)
 	}
-	// The warm history carries the generator's synthetic timestamps;
-	// shift each session to end "now" minus its age within the history
-	// so the sliding window keeps all of it.
-	shift := time.Since(tr.Epoch.Add(time.Duration(warm.Days) * 24 * time.Hour))
-	for _, s := range sessions {
-		shifted := s
-		shifted.Views = make([]session.PageView, len(s.Views))
-		for i, v := range s.Views {
-			v.Time = v.Time.Add(shift)
-			shifted.Views[i] = v
+	var model markov.Predictor
+	if cfg.snapshotAddr == "" {
+		// The warm history carries the generator's synthetic timestamps;
+		// shift each session to end "now" minus its age within the history
+		// so the sliding window keeps all of it.
+		shift := time.Since(warmEpoch.Add(time.Duration(warm.Days) * 24 * time.Hour))
+		for _, s := range sessions {
+			shifted := s
+			shifted.Views = make([]session.PageView, len(s.Views))
+			for i, v := range s.Views {
+				v.Time = v.Time.Add(shift)
+				shifted.Views[i] = v
+			}
+			a.maint.Observe(shifted)
 		}
-		a.maint.Observe(shifted)
+		model = a.maint.Rebuild(time.Now())
+		var arenaBytes int
+		if ah, ok := model.(markov.ArenaHolder); ok {
+			arenaBytes = ah.Arena().SizeBytes()
+		}
+		a.log.Info("warm model trained", "sessions", len(sessions),
+			"nodes", model.NodeCount(), "arena_bytes", arenaBytes)
+	} else {
+		// Follower: no local model until the first snapshot installs;
+		// the server serves documents without hints in the meantime.
+		fol, err := maintain.NewFollower(maintain.FollowerConfig{
+			URL:     cfg.snapshotAddr,
+			Poll:    cfg.snapshotPoll,
+			Wait:    25 * time.Second,
+			Install: a.maint.InstallSnapshot,
+			Obs:     a.reg,
+			Logger:  logger,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("creating snapshot follower: %w", err)
+		}
+		a.fol = fol
+		a.log.Info("snapshot follower mode", "publisher", cfg.snapshotAddr)
 	}
-	model := a.maint.Rebuild(time.Now())
-	var arenaBytes int
-	if ah, ok := model.(markov.ArenaHolder); ok {
-		arenaBytes = ah.Arena().SizeBytes()
-	}
-	a.log.Info("warm model trained", "sessions", len(sessions),
-		"nodes", model.NodeCount(), "arena_bytes", arenaBytes)
 
 	sc := server.Config{
 		Predictor:  model,
@@ -245,6 +284,11 @@ func newApp(cfg appConfig, logger *slog.Logger) (*app, error) {
 			}
 			a.maint.Observe(s)
 		},
+	}
+	if a.fol != nil {
+		// A follower never trains: completed live sessions would only
+		// accumulate in a window no rebuild will ever read.
+		sc.OnSessionEnd = nil
 	}
 	var trusted []string
 	if cfg.routerAddr != "" {
@@ -274,6 +318,15 @@ func newApp(cfg appConfig, logger *slog.Logger) (*app, error) {
 	a.web = &http.Server{Handler: mux}
 
 	admin := obs.NewAdminMux(a.reg, nil)
+	if a.fol == nil {
+		// Publisher role: offer every published model (warm build, delta
+		// merges, compactions) to out-of-process followers.
+		a.pub = maintain.NewPublisher(a.maint, maintain.PublisherConfig{
+			Obs:    a.reg,
+			Logger: logger,
+		})
+		admin.Handle("/snapshot", a.pub)
+	}
 	admin.HandleFunc("/debug/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeStats(w, a.serve.Stats(), a.maint.Rebuilds(), a.maint.DeltaMerges())
 	})
@@ -444,6 +497,12 @@ func (a *app) maintLoop(ctx context.Context) {
 		}
 	}()
 
+	if a.fol != nil {
+		// Follower: the model arrives over the snapshot channel; local
+		// training loops stay cold.
+		a.fol.Run(ctx)
+		return
+	}
 	if a.cfg.deltaEvery > 0 {
 		a.maint.RunIncremental(a.cfg.deltaEvery, a.cfg.compactNear, stop)
 		return

@@ -17,6 +17,7 @@
 //	          [-live-window 5m] [-warm-days 3]
 //	          [-pages N] [-sessions-per-day N] [-max-hints N]
 //	          [-shards N] [-router-addr host]
+//	          [-snapshot-addr URL] [-snapshot-poll 5s]
 //
 // -pages, -sessions-per-day, and -warm-days shrink the synthetic site
 // and warm history for fast boots under load benchmarks (cmd/loadbench
@@ -32,6 +33,17 @@
 // (pbppm_shard_requests_total, pbppm_cluster_*). -router-addr names
 // the one upstream host allowed to assert X-Client-ID (an outer load
 // balancer or a standalone router); unset, any peer may assert it.
+//
+// Multi-process topologies distribute the model over the snapshot
+// channel. The training process (the publisher) serves its current
+// frozen model on the admin listener at /snapshot — versioned, ETagged,
+// long-pollable, checksummed. A process started with -snapshot-addr
+// pointing at a publisher's /snapshot runs as a follower: it trains
+// nothing, polls the publisher (pacing retries with -snapshot-poll),
+// validates each downloaded image end to end, and installs the model
+// and its popularity ranking atomically — a corrupt or truncated
+// download keeps the previous model live. Put cmd/prefetchrouter in
+// front of the followers to consistent-hash clients across them.
 //
 // The admin listener serves /metrics (Prometheus text exposition),
 // /healthz, /debug/pprof, /debug/stats, /debug/traces, and /debug/slo
@@ -82,6 +94,8 @@ func main() {
 	flag.IntVar(&cfg.maxHints, "max-hints", 0, "override the per-response X-Prefetch hint cap (0 = server default)")
 	flag.IntVar(&cfg.shards, "shards", 1, "serve through an in-process consistent-hash cluster of N shards (1 = single server)")
 	flag.StringVar(&cfg.routerAddr, "router-addr", "", "trusted upstream host allowed to assert X-Client-ID (empty trusts any peer)")
+	flag.StringVar(&cfg.snapshotAddr, "snapshot-addr", "", "snapshot publisher endpoint to follow, e.g. http://10.0.0.1:8081/snapshot; set, this process trains nothing and installs the publisher's models")
+	flag.DurationVar(&cfg.snapshotPoll, "snapshot-poll", 5*time.Second, "snapshot follower poll interval")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
 	flag.Parse()
 

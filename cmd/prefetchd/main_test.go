@@ -329,3 +329,119 @@ func TestLoadObjectivesFile(t *testing.T) {
 		t.Errorf("objectives = %+v", objs)
 	}
 }
+
+// TestSnapshotFollowerMode boots a publisher daemon and a follower
+// daemon pointed at its /snapshot endpoint: the follower — which
+// trained nothing — must download and install the publisher's model,
+// report the installed version in its exposition, and serve prefetch
+// hints from the distributed model.
+func TestSnapshotFollowerMode(t *testing.T) {
+	pubLog := &syncBuffer{}
+	pub, err := newApp(testConfig(), obs.NewLogger(pubLog, slog.LevelInfo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.listen(); err != nil {
+		t.Fatal(err)
+	}
+	pubAdmin := "http://" + pub.adminLn.Addr().String()
+
+	folCfg := testConfig()
+	folCfg.snapshotAddr = pubAdmin + "/snapshot"
+	folCfg.snapshotPoll = 50 * time.Millisecond
+	folLog := &syncBuffer{}
+	fol, err := newApp(folCfg, obs.NewLogger(folLog, slog.LevelInfo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fol.maint.Predictor() != nil {
+		t.Fatal("follower trained a model at boot")
+	}
+	if err := fol.listen(); err != nil {
+		t.Fatal(err)
+	}
+	folWeb := "http://" + fol.webLn.Addr().String()
+	folAdmin := "http://" + fol.adminLn.Addr().String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 2)
+	go func() { done <- pub.run(ctx) }()
+	go func() { done <- fol.run(ctx) }()
+
+	get := func(url string) (string, error) {
+		resp, err := http.Get(url)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return string(body), err
+	}
+
+	// The publisher must offer a snapshot; the follower must install it.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		body, err := get(folAdmin + "/metrics")
+		if err == nil && strings.Contains(body, "pbppm_snapshot_installs_total 1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never installed a snapshot; metrics:\n%v", body)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if fol.maint.Predictor() == nil || fol.maint.Ranking() == nil {
+		t.Fatal("follower install did not publish model and ranking")
+	}
+
+	// The follower serves hints from the distributed model: walk one
+	// client far enough that the model has context to predict from.
+	client := &http.Client{Timeout: 2 * time.Second}
+	sawHint := false
+	for _, pg := range []string{"/d0/page0000.html", "/d1/page0001.html", "/d1/page0002.html"} {
+		req, _ := http.NewRequest(http.MethodGet, folWeb+pg, nil)
+		req.Header.Set("X-Client-ID", "follower-client")
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		if resp.Header.Get("X-Prefetch") != "" {
+			sawHint = true
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("follower demand status %d", resp.StatusCode)
+		}
+	}
+	if !sawHint {
+		t.Error("follower issued no prefetch hints from the distributed model")
+	}
+
+	// The publisher's own exposition carries the distribution series.
+	pubMetrics, err := get(pubAdmin + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"pbppm_snapshot_version", "pbppm_snapshot_publishes_total"} {
+		if !strings.Contains(pubMetrics, want) {
+			t.Errorf("publisher exposition missing %s", want)
+		}
+	}
+
+	cancel()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run returned %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("a daemon did not drain and return after cancel")
+		}
+	}
+	if !strings.Contains(folLog.String(), "snapshot follower mode") {
+		t.Error("follower log missing mode line")
+	}
+}

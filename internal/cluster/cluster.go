@@ -36,6 +36,7 @@ package cluster
 
 import (
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/httputil"
 	"net/url"
@@ -111,10 +112,16 @@ func newRouterMetrics(reg *obs.Registry) *routerMetrics {
 			"Open client sessions whose ring owner changed in a rebalance; their context restarts on the new owner."),
 		hintsOrphaned: reg.Counter("pbppm_cluster_hints_orphaned_total",
 			"Outstanding hint records stranded on the old owner by a rebalance; hit reports for them surface as unmatched on the new owner."),
-		noShard: reg.Counter("pbppm_cluster_routing_errors_total",
-			"Requests rejected because the ring had no shards."),
+		noShard: reg.Counter("pbppm_cluster_routing_errors_total", routingErrHelp,
+			obs.Label{Name: "reason", Value: "no_shard"}),
 	}
 }
+
+// routingErrHelp documents pbppm_cluster_routing_errors_total, shared
+// by the in-process Cluster and the standalone Router so both register
+// the family with identical metadata.
+const routingErrHelp = "Requests the routing tier could not deliver to a shard, by reason: " +
+	"no_shard (empty ring) or backend (reverse-proxy round trip to the owner failed)."
 
 // shardNode is one in-process shard: its server, its private metrics
 // registry, and the router-side request counter labelled with its ID.
@@ -461,11 +468,14 @@ func (c *Cluster) BindSLIs(e *obs.SLOEngine) {
 // reverse-proxies each request to the owner. Membership is fixed at
 // construction; the in-process Cluster is the dynamic variant.
 type Router struct {
-	identity server.IdentityPolicy
-	ring     *ring
-	backends map[int]http.Handler
-	requests map[int]*obs.Counter
-	noShard  *obs.Counter
+	identity    server.IdentityPolicy
+	ring        *ring
+	backends    map[int]http.Handler
+	requests    map[int]*obs.Counter
+	backendErrs map[int]*obs.Counter
+	noShard     *obs.Counter
+	backendErr  *obs.Counter
+	log         *slog.Logger
 }
 
 // RouterConfig parameterizes a standalone HTTP router.
@@ -482,6 +492,9 @@ type RouterConfig struct {
 	// Obs registers pbppm_shard_requests_total{shard} for the router;
 	// nil keeps it process-internal.
 	Obs *obs.Registry
+	// Logger receives backend-failure lines, tagged component=router;
+	// nil discards them.
+	Logger *slog.Logger
 }
 
 // NewRouter builds a standalone HTTP router over fixed backends.
@@ -490,11 +503,15 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		return nil, fmt.Errorf("cluster: router needs at least one backend")
 	}
 	rt := &Router{
-		identity: server.NewIdentityPolicy(cfg.TrustedPeers),
-		backends: make(map[int]http.Handler, len(cfg.Backends)),
-		requests: make(map[int]*obs.Counter, len(cfg.Backends)),
-		noShard: cfg.Obs.Counter("pbppm_cluster_routing_errors_total",
-			"Requests rejected because the ring had no shards."),
+		identity:    server.NewIdentityPolicy(cfg.TrustedPeers),
+		backends:    make(map[int]http.Handler, len(cfg.Backends)),
+		requests:    make(map[int]*obs.Counter, len(cfg.Backends)),
+		backendErrs: make(map[int]*obs.Counter, len(cfg.Backends)),
+		noShard: cfg.Obs.Counter("pbppm_cluster_routing_errors_total", routingErrHelp,
+			obs.Label{Name: "reason", Value: "no_shard"}),
+		backendErr: cfg.Obs.Counter("pbppm_cluster_routing_errors_total", routingErrHelp,
+			obs.Label{Name: "reason", Value: "backend"}),
+		log: obs.Component(cfg.Logger, "router"),
 	}
 	ids := make([]int, 0, len(cfg.Backends))
 	for i, b := range cfg.Backends {
@@ -502,9 +519,28 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		if err != nil || u.Scheme == "" || u.Host == "" {
 			return nil, fmt.Errorf("cluster: bad backend URL %q", b)
 		}
-		rt.backends[i] = httputil.NewSingleHostReverseProxy(u)
+		proxy := httputil.NewSingleHostReverseProxy(u)
+		// The default ErrorHandler logs to the process-global logger and
+		// writes a bare 502 with no body or accounting. A dead shard is
+		// an operational event the routing tier must surface: count it
+		// per shard, log it with the backend address, and answer a
+		// well-formed 502 the client can distinguish from the shard's
+		// own errors.
+		shard, host := i, u.Host
+		proxy.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+			rt.backendErr.Inc()
+			rt.backendErrs[shard].Inc()
+			rt.log.Warn("backend round trip failed",
+				"shard", shard, "backend", host, "path", r.URL.Path, "error", err)
+			http.Error(w, fmt.Sprintf("cluster: shard %d backend unavailable", shard),
+				http.StatusBadGateway)
+		}
+		rt.backends[i] = proxy
 		rt.requests[i] = cfg.Obs.Counter("pbppm_shard_requests_total",
 			"Requests routed to each shard by the consistent-hash ring.",
+			obs.Label{Name: "shard", Value: strconv.Itoa(i)})
+		rt.backendErrs[i] = cfg.Obs.Counter("pbppm_cluster_backend_errors_total",
+			"Reverse-proxy round trips that failed per shard backend (connection refused, reset, timeout); each also answered 502 and counted under routing_errors{reason=\"backend\"}.",
 			obs.Label{Name: "shard", Value: strconv.Itoa(i)})
 		ids = append(ids, i)
 	}

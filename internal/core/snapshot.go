@@ -1,0 +1,82 @@
+package core
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+
+	"pbppm/internal/markov"
+)
+
+// FrozenKind identifies the frozen PB-PPM snapshot in snapshot
+// envelopes.
+const FrozenKind = "core/pbppm"
+
+// wireFrozen is the gob image of a Frozen model: everything serving
+// needs — the arena verbatim, the precomputed rule-3 link predictions,
+// the freeze-time node count (the paper's space metric, which counts
+// links the threshold already removed from the table below), and the
+// threshold itself. The popularity ranking is deliberately not part of
+// the model image; the snapshot envelope carries it beside the model so
+// hint grading travels with the predictor (see maintain's snapshot
+// wire format).
+type wireFrozen struct {
+	Name      string
+	Threshold float64
+	NodeCount int
+	Links     map[string][]markov.Prediction
+	Arena     []byte
+}
+
+var _ markov.FrozenEncoder = (*Frozen)(nil)
+
+// FrozenKind implements markov.FrozenEncoder.
+func (f *Frozen) FrozenKind() string { return FrozenKind }
+
+// EncodeFrozen implements markov.FrozenEncoder.
+func (f *Frozen) EncodeFrozen(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	img := wireFrozen{
+		Name:      f.name,
+		Threshold: f.threshold,
+		NodeCount: f.nodeCount,
+		Links:     f.links,
+		Arena:     f.arena.Bytes(),
+	}
+	if err := gob.NewEncoder(bw).Encode(img); err != nil {
+		return fmt.Errorf("core: encoding frozen model: %w", err)
+	}
+	return bw.Flush()
+}
+
+func init() {
+	markov.RegisterFrozenDecoder(FrozenKind, func(r io.Reader) (markov.Predictor, error) {
+		var img wireFrozen
+		if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&img); err != nil {
+			return nil, fmt.Errorf("core: decoding frozen model: %w", err)
+		}
+		a, err := markov.ArenaFromBytes(img.Arena)
+		if err != nil {
+			return nil, fmt.Errorf("core: decoding frozen model: %w", err)
+		}
+		if img.NodeCount < 0 {
+			return nil, fmt.Errorf("core: decoding frozen model: negative node count %d", img.NodeCount)
+		}
+		for url, linked := range img.Links {
+			for _, p := range linked {
+				if p.URL == "" || math.IsNaN(p.Probability) || p.Probability < 0 {
+					return nil, fmt.Errorf("core: decoding frozen model: corrupt link candidate %+v under %q", p, url)
+				}
+			}
+		}
+		return &Frozen{
+			name:      img.Name,
+			arena:     a,
+			threshold: img.Threshold,
+			nodeCount: img.NodeCount,
+			links:     img.Links,
+		}, nil
+	})
+}

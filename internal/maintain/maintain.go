@@ -438,6 +438,49 @@ func (m *Maintainer) Subscribe(fn func(markov.Predictor)) {
 	}
 }
 
+// InstallSnapshot publishes a model that arrived from another process
+// through the snapshot-distribution channel, running it through the
+// same crash-safe gate local updates use: an empty model never replaces
+// a trained one, a publish panic is contained, and either rejection
+// keeps the previous snapshot live (counted in
+// pbppm_rebuild_skipped_total like any other discarded update). The
+// ranking travels with the model and is stored first, so an OnPublish
+// observer grading by Ranking() sees the ranking the model was built
+// from — without it a remote shard would silently grade every hint
+// event popularity-unknown.
+//
+// The installed model is typically frozen (not a markov.Freezer or
+// IncrementalTrainer), so on a follower DeltaMerge degrades to rebuild;
+// followers do not run local maintenance loops, so that path stays
+// cold.
+func (m *Maintainer) InstallSnapshot(model markov.Predictor, rank *popularity.Ranking) error {
+	if model == nil {
+		return fmt.Errorf("maintain: install of nil model")
+	}
+	m.publishMu.Lock()
+	defer m.publishMu.Unlock()
+
+	prev := m.Predictor()
+	if model.NodeCount() == 0 && prev != nil && prev.NodeCount() > 0 {
+		m.skip("install-snapshot", skipEmptyModel, model.Name())
+		return fmt.Errorf("maintain: snapshot model is empty while a trained model is live")
+	}
+	if err := guarded(func() {
+		if rank != nil {
+			m.lastRank.Store(rank)
+		}
+		m.publish(model)
+	}); err != nil {
+		m.skip("install-snapshot", skipPanic, err)
+		return err
+	}
+	m.cfg.Annotations.Add("snapshot_install",
+		fmt.Sprintf("model=%s nodes=%d", model.Name(), model.NodeCount()))
+	m.log.Info("snapshot model installed",
+		"model", model.Name(), "nodes", model.NodeCount())
+	return nil
+}
+
 // Rebuild is the full update path, used for the initial build and for
 // periodic compactions: it trims the window to cfg.Window ending at
 // now, re-derives the popularity ranking, constructs a fresh model

@@ -7,7 +7,8 @@
 // into an Arena, a struct-of-slices image carved out of one contiguous
 // buffer:
 //
-//	magic "pbppmAR1"            8 bytes
+//	magic "pbppmAR2"            8 bytes
+//	byte-order mark             uint64 (host-endian; see arenaBOM)
 //	numNodes, numSyms,
 //	symBytesLen                 3 × uint64 (host-endian)
 //	counts   []int64            one per node, training mass
@@ -31,9 +32,13 @@
 // sees O(1) objects per model, a snapshot can be written to disk or a
 // shared mapping verbatim, and ArenaFromBytes revives it after
 // validating every index against the buffer bounds. Multi-byte fields
-// are host-endian — the arena image is a same-machine serving and
-// sharing format; cross-machine interchange stays on wire format v2
-// (Encode/DecodeArena).
+// are host-endian — the arena image is a same-architecture serving and
+// sharing format. Because images now also travel between machines (the
+// snapshot-distribution channel ships the arena verbatim), the header
+// carries a byte-order mark: an image written on a machine with the
+// opposite endianness is rejected by ArenaFromBytes with a clear error
+// instead of being misread through byte-swapped offsets. Cross-endian
+// interchange stays on wire format v2 (Encode/DecodeArena).
 package markov
 
 import (
@@ -43,11 +48,23 @@ import (
 	"unsafe"
 )
 
-// arenaMagic prefixes every arena image.
-const arenaMagic = "pbppmAR1"
+// arenaMagic prefixes every arena image. AR2 added the byte-order mark
+// to the header; AR1 images (which never left a process) are rejected
+// as unknown magic.
+const arenaMagic = "pbppmAR2"
 
-// arenaHeaderSize is the magic plus the three uint64 section lengths.
-const arenaHeaderSize = len(arenaMagic) + 3*8
+// arenaBOM is the header's byte-order mark, written host-endian. A
+// reader on a machine with the same endianness reads the constant back;
+// on the opposite endianness it reads arenaBOMSwapped, which turns a
+// silent offset-scrambling into a clear validation error.
+const arenaBOM uint64 = 0x0102030405060708
+
+// arenaBOMSwapped is arenaBOM as seen through byte-swapped eyes.
+const arenaBOMSwapped uint64 = 0x0807060504030201
+
+// arenaHeaderSize is the magic, the byte-order mark, and the three
+// uint64 section lengths.
+const arenaHeaderSize = len(arenaMagic) + 4*8
 
 // arenaMaxDim bounds the node and symbol counts an image may declare,
 // so a corrupt header cannot drive the loader into overflow or an
@@ -89,7 +106,7 @@ func alignedBuf(n int) []byte {
 }
 
 // arenaLayout computes the section offsets for the given dimensions.
-// counts starts 8-aligned (the header is 32 bytes); the uint32 sections
+// counts starts 8-aligned (the header is 40 bytes); the uint32 sections
 // stay 4-aligned because every preceding section is a multiple of 4.
 func arenaLayout(numNodes, numSyms, symBytesLen uint64) (countsOff, symsOff, childOffOff, symOffOff, symBytesOff, total uint64) {
 	countsOff = uint64(arenaHeaderSize)
@@ -167,8 +184,8 @@ func (t *Tree) Freeze() *Arena {
 		arenaLayout(uint64(numNodes), uint64(len(urls)), uint64(symBytesLen))
 	buf := alignedBuf(int(total))
 	copy(buf, arenaMagic)
-	hdr := unsafe.Slice((*uint64)(unsafe.Pointer(&buf[len(arenaMagic)])), 3)
-	hdr[0], hdr[1], hdr[2] = uint64(numNodes), uint64(len(urls)), uint64(symBytesLen)
+	hdr := unsafe.Slice((*uint64)(unsafe.Pointer(&buf[len(arenaMagic)])), 4)
+	hdr[0], hdr[1], hdr[2], hdr[3] = arenaBOM, uint64(numNodes), uint64(len(urls)), uint64(symBytesLen)
 
 	counts := unsafe.Slice((*int64)(unsafe.Pointer(&buf[countsOff])), numNodes)
 	syms := unsafe.Slice((*uint32)(unsafe.Pointer(&buf[symsOff])), numNodes)
@@ -212,8 +229,16 @@ func ArenaFromBytes(buf []byte) (*Arena, error) {
 		copy(aligned, buf)
 		buf = aligned
 	}
-	hdr := unsafe.Slice((*uint64)(unsafe.Pointer(&buf[len(arenaMagic)])), 3)
-	numNodes, numSyms, symBytesLen := hdr[0], hdr[1], hdr[2]
+	hdr := unsafe.Slice((*uint64)(unsafe.Pointer(&buf[len(arenaMagic)])), 4)
+	switch hdr[0] {
+	case arenaBOM:
+		// Image and host agree on byte order.
+	case arenaBOMSwapped:
+		return nil, fmt.Errorf("markov: arena: image was written on a machine with the opposite byte order; re-freeze on this architecture or ship the model over wire format v2")
+	default:
+		return nil, fmt.Errorf("markov: arena: bad byte-order mark %#x", hdr[0])
+	}
+	numNodes, numSyms, symBytesLen := hdr[1], hdr[2], hdr[3]
 	if numNodes < 1 || numNodes > arenaMaxDim || numSyms > arenaMaxDim || symBytesLen > arenaMaxDim {
 		return nil, fmt.Errorf("markov: arena: implausible dimensions nodes=%d syms=%d urlbytes=%d",
 			numNodes, numSyms, symBytesLen)

@@ -197,24 +197,29 @@ func TestArenaFromBytesRejectsCorrupt(t *testing.T) {
 	hdr := len(arenaMagic)
 	edits := []corruptingEdit{
 		{"bad magic", func(img []byte, _ *Arena) { img[0] = 'X' }},
-		{"zero nodes", func(img []byte, _ *Arena) {
+		{"corrupt byte-order mark", func(img []byte, _ *Arena) {
 			for i := 0; i < 8; i++ {
 				img[hdr+i] = 0
 			}
 		}},
-		{"huge nodes", func(img []byte, _ *Arena) {
+		{"zero nodes", func(img []byte, _ *Arena) {
 			for i := 0; i < 8; i++ {
-				img[hdr+i] = 0xFF
+				img[hdr+8+i] = 0
 			}
 		}},
-		{"huge syms", func(img []byte, _ *Arena) {
+		{"huge nodes", func(img []byte, _ *Arena) {
 			for i := 0; i < 8; i++ {
 				img[hdr+8+i] = 0xFF
 			}
 		}},
-		{"huge urlbytes", func(img []byte, _ *Arena) {
+		{"huge syms", func(img []byte, _ *Arena) {
 			for i := 0; i < 8; i++ {
 				img[hdr+16+i] = 0xFF
+			}
+		}},
+		{"huge urlbytes", func(img []byte, _ *Arena) {
+			for i := 0; i < 8; i++ {
+				img[hdr+24+i] = 0xFF
 			}
 		}},
 		{"root child block not at 1", func(img []byte, a *Arena) {
@@ -353,4 +358,57 @@ func TestFrozenTreeTrainPanics(t *testing.T) {
 		}
 	}()
 	f.TrainSequence([]string{"/a"})
+}
+
+// byteSwapArenaImage rewrites a valid arena image as a machine of the
+// opposite endianness would have written it: every fixed-width field —
+// the four header words, the int64 counts, and the uint32 sections —
+// is byte-reversed in place. Magic and URL bytes are endian-neutral.
+func byteSwapArenaImage(img []byte, a *Arena) {
+	numNodes := uint64(len(a.counts))
+	numSyms := uint64(a.SymbolCount())
+	countsOff, symsOff, childOffOff, symOffOff, symBytesOff, _ :=
+		arenaLayout(numNodes, numSyms, uint64(len(a.symBytes)))
+	swap := func(off, width, n uint64) {
+		for i := uint64(0); i < n; i++ {
+			f := img[off+i*width : off+(i+1)*width]
+			for l, r := 0, int(width)-1; l < r; l, r = l+1, r-1 {
+				f[l], f[r] = f[r], f[l]
+			}
+		}
+	}
+	swap(uint64(len(arenaMagic)), 8, 4) // BOM + 3 dims
+	swap(countsOff, 8, numNodes)
+	swap(symsOff, 4, numNodes)
+	swap(childOffOff, 4, numNodes+1)
+	swap(symOffOff, 4, numSyms+1)
+	_ = symBytesOff // URL bytes carry no endianness
+}
+
+// TestArenaFromBytesRejectsForeignEndianness pins the cross-machine
+// hardening: an image written on an opposite-endian machine — which
+// under the old host-endian header would have been misread through
+// byte-swapped offsets — is refused with an explicit byte-order error.
+func TestArenaFromBytesRejectsForeignEndianness(t *testing.T) {
+	tr := NewTree()
+	tr.Insert([]string{"/a", "/b"}, 0, 2)
+	tr.Insert([]string{"/b", "/c"}, 0, 1)
+	a := tr.Freeze()
+
+	img := make([]byte, len(a.Bytes()))
+	copy(img, a.Bytes())
+	byteSwapArenaImage(img, a)
+
+	_, err := ArenaFromBytes(img)
+	if err == nil {
+		t.Fatal("byte-swapped arena image accepted")
+	}
+	if !strings.Contains(err.Error(), "byte order") {
+		t.Fatalf("byte-swapped image rejected without a byte-order diagnosis: %v", err)
+	}
+
+	// Round-trip sanity: the unswapped image still attaches.
+	if _, err := ArenaFromBytes(a.Bytes()); err != nil {
+		t.Fatalf("valid image rejected: %v", err)
+	}
 }

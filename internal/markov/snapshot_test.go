@@ -1,0 +1,86 @@
+package markov
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestFrozenTreeSnapshotRoundTrip: encoding a frozen tree and decoding
+// it through the kind registry must reproduce identical predictions —
+// the invariant the snapshot-distribution channel rests on.
+func TestFrozenTreeSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := randomArenaTree(rng, 600, 0)
+	f := NewFrozenTree(tr.Freeze(), "PPM-test", 0.1, 5)
+
+	var w bytes.Buffer
+	if err := f.EncodeFrozen(&w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrozenModel(f.FrozenKind(), bytes.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != "PPM-test" {
+		t.Errorf("decoded name = %q", got.Name())
+	}
+	for i := 0; i < 500; i++ {
+		ctx := make([]string, rng.Intn(6))
+		for j := range ctx {
+			ctx[j] = url(rng.Intn(40))
+		}
+		if want, have := f.Predict(ctx), got.Predict(ctx); !reflect.DeepEqual(want, have) {
+			t.Fatalf("ctx %v: decoded model predicts %+v, original %+v", ctx, have, want)
+		}
+	}
+	// The arena image itself must revive bit-identical.
+	if !bytes.Equal(f.Arena().Bytes(), got.(*FrozenTree).Arena().Bytes()) {
+		t.Fatal("round trip changed the arena image")
+	}
+}
+
+// TestDecodeFrozenModelUnknownKind: a kind the process has not linked a
+// decoder for must error with the registered kinds listed, not panic.
+func TestDecodeFrozenModelUnknownKind(t *testing.T) {
+	_, err := DecodeFrozenModel("nonexistent/kind", bytes.NewReader(nil))
+	if err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if !strings.Contains(err.Error(), FrozenTreeKind) {
+		t.Errorf("error %v does not list registered kinds", err)
+	}
+}
+
+// TestDecodeFrozenModelRejectsCorrupt: truncated gob, and a valid gob
+// carrying a corrupted arena, must both error (never panic).
+func TestDecodeFrozenModelRejectsCorrupt(t *testing.T) {
+	tr := NewTree()
+	tr.Insert([]string{"/a", "/b"}, 0, 1)
+	f := NewFrozenTree(tr.Freeze(), "t", 0, 0)
+	var w bytes.Buffer
+	if err := f.EncodeFrozen(&w); err != nil {
+		t.Fatal(err)
+	}
+	valid := w.Bytes()
+
+	for cut := 0; cut < len(valid); cut += 7 {
+		if _, err := DecodeFrozenModel(FrozenTreeKind, bytes.NewReader(valid[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+
+	// Corrupt the arena inside an otherwise valid envelope: re-encode
+	// with a broken image.
+	bad := wireFrozenTree{Name: "t", Arena: []byte("pbppmAR2 not really an arena")}
+	var wb bytes.Buffer
+	if err := gob.NewEncoder(&wb).Encode(bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeFrozenModel(FrozenTreeKind, bytes.NewReader(wb.Bytes())); err == nil {
+		t.Fatal("corrupt embedded arena accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package ppm
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"pbppm/internal/markov"
+)
+
+// FrozenBlendedKind identifies the frozen BlendOrders snapshot in
+// snapshot envelopes. The non-blended variant freezes to the generic
+// markov.FrozenTree and travels under markov.FrozenTreeKind.
+const FrozenBlendedKind = "ppm/frozen-blended"
+
+// wireFrozenBlended is the gob image of a frozenBlended model; the
+// arena travels verbatim and is re-validated on decode.
+type wireFrozenBlended struct {
+	Name      string
+	Threshold float64
+	Height    int
+	Arena     []byte
+}
+
+var _ markov.FrozenEncoder = (*frozenBlended)(nil)
+
+// FrozenKind implements markov.FrozenEncoder.
+func (f *frozenBlended) FrozenKind() string { return FrozenBlendedKind }
+
+// EncodeFrozen implements markov.FrozenEncoder.
+func (f *frozenBlended) EncodeFrozen(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	img := wireFrozenBlended{
+		Name:      f.name,
+		Threshold: f.threshold,
+		Height:    f.height,
+		Arena:     f.arena.Bytes(),
+	}
+	if err := gob.NewEncoder(bw).Encode(img); err != nil {
+		return fmt.Errorf("ppm: encoding frozen blended model: %w", err)
+	}
+	return bw.Flush()
+}
+
+func init() {
+	markov.RegisterFrozenDecoder(FrozenBlendedKind, func(r io.Reader) (markov.Predictor, error) {
+		var img wireFrozenBlended
+		if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&img); err != nil {
+			return nil, fmt.Errorf("ppm: decoding frozen blended model: %w", err)
+		}
+		a, err := markov.ArenaFromBytes(img.Arena)
+		if err != nil {
+			return nil, fmt.Errorf("ppm: decoding frozen blended model: %w", err)
+		}
+		return &frozenBlended{name: img.Name, arena: a, threshold: img.Threshold, height: img.Height}, nil
+	})
+}
